@@ -1,0 +1,41 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table or figure of the paper, prints the
+regenerated rows/series next to the paper's reported values, and asserts the
+*shape* of the result (who wins, by roughly what factor, where the knees
+fall) — not the absolute numbers, since the substrate is a calibrated
+simulator rather than the authors' 20-machine testbed.
+
+Set ``REPRO_BENCH_FULL=1`` to run the paper-scale sweeps (slower); the
+default quick mode uses a reduced arrival-rate grid and shorter runs.
+"""
+
+import os
+
+import pytest
+
+
+def bench_mode() -> str:
+    return "full" if os.environ.get("REPRO_BENCH_FULL") == "1" else "quick"
+
+
+@pytest.fixture
+def mode() -> str:
+    return bench_mode()
+
+
+@pytest.fixture
+def show():
+    """Print a rendered experiment result inside a benchmark."""
+    def _show(*results):
+        print()
+        for result in results:
+            print(result.render())
+            print()
+    return _show
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

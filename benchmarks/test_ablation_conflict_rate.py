@@ -1,0 +1,60 @@
+"""Ablation: MVCC read-write conflicts vs key-space contention.
+
+§V ("Workload Designs") motivates application-level workloads with
+read-write conflicts, which the paper's 1-byte system-level benchmark
+deliberately avoids.  This ablation quantifies the cost: conflicted
+transactions consume full pipeline resources but are invalidated by MVCC
+and add nothing to goodput.
+"""
+
+from benchmarks.conftest import run_once
+from repro.common.config import (
+    ChannelConfig,
+    OrdererConfig,
+    TopologyConfig,
+    WorkloadConfig,
+)
+from repro.experiments.report import ExperimentResult
+from repro.fabric.network import FabricNetwork
+
+
+def _run(key_space, duration):
+    topology = TopologyConfig(
+        num_endorsing_peers=5,
+        channel=ChannelConfig(endorsement_policy="OR(1..n)"),
+        orderer=OrdererConfig(kind="solo"))
+    workload = WorkloadConfig(arrival_rate=100, duration=duration,
+                              warmup=2, cooldown=2, key_space=key_space)
+    network = FabricNetwork(topology, workload, seed=11,
+                            workload_kind="conflict")
+    return network.run_workload()
+
+
+def _ablation(mode):
+    duration = 10.0 if mode == "quick" else 20.0
+    rows = []
+    for key_space in (10_000, 1_000, 100, 10):
+        metrics = _run(key_space, duration)
+        total = metrics.overall_throughput + metrics.invalid_rate
+        conflict_share = metrics.invalid_rate / total if total else 0.0
+        rows.append([key_space, metrics.overall_throughput,
+                     metrics.invalid_rate, 100 * conflict_share])
+    return ExperimentResult(
+        experiment_id="ablation-conflicts",
+        title="Goodput vs key-space contention (100 tps read-modify-write)",
+        columns=["key_space", "goodput_tps", "invalid_tps", "conflict_pct"],
+        rows=rows)
+
+
+def test_ablation_conflict_rate(benchmark, show, mode):
+    result = run_once(benchmark, _ablation, mode)
+    show(result)
+    conflict_shares = result.column("conflict_pct")
+    goodputs = result.column("goodput_tps")
+    # Conflicts rise monotonically as the key space shrinks.
+    for earlier, later in zip(conflict_shares, conflict_shares[1:]):
+        assert later >= earlier
+    # Large key space: negligible conflicts; tiny key space: dominated.
+    assert conflict_shares[0] < 5.0
+    assert conflict_shares[-1] > 50.0
+    assert goodputs[-1] < 0.5 * goodputs[0]

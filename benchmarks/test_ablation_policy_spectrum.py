@@ -1,0 +1,44 @@
+"""Ablation: the OutOf(k, 5) spectrum between OR and AND.
+
+The paper measures the endpoints (OR = 1-of-n, AND = n-of-n).  OutOf(k)
+interpolates: each extra required endorsement adds endorsement load on the
+target peers and one more signature through VSCC, so peak throughput falls
+monotonically from the OR peak to the AND5 peak.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import search_peak
+
+
+def _ablation(mode):
+    # Longer runs than the figure sweeps: peak search reads throughput in a
+    # window, and short windows quantize at the 100-tx block granularity.
+    duration = 18.0 if mode == "quick" else 30.0
+    rows = []
+    for k in (1, 2, 3, 4, 5):
+        policy = f"OutOf({k},5)"
+        peak, _points = search_peak("solo", policy, 5, [240, 280],
+                                    duration=duration, seed=1)
+        rows.append([policy, k, peak])
+    return ExperimentResult(
+        experiment_id="ablation-outof",
+        title="Peak throughput across the OutOf(k,5) policy spectrum "
+              "(5 endorsing peers)",
+        columns=["policy", "k", "peak_throughput_tps"],
+        rows=rows)
+
+
+def test_ablation_policy_spectrum(benchmark, show, mode):
+    result = run_once(benchmark, _ablation, mode)
+    show(result)
+    peaks = [row[2] for row in result.rows]
+    # Monotone non-increasing in k (within block-quantization noise).
+    for earlier, later in zip(peaks, peaks[1:]):
+        assert later <= earlier * 1.08
+    # Endpoints bracket the paper's values: OutOf(1,5) is OR-like, client
+    # bound at ~250 for 5 peers; OutOf(5,5) is AND5, validate bound ~210.
+    assert 225 <= peaks[0] <= 280
+    assert 185 <= peaks[-1] <= 230
+    # The whole spectrum spans OR-to-AND: a real gap between endpoints.
+    assert peaks[-1] < 0.95 * peaks[0]

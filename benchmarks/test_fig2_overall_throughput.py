@@ -1,0 +1,39 @@
+"""Fig. 2: overall transaction throughput vs arrival rate.
+
+Paper findings checked:
+1. maximum throughput under OR is ~300 tps, and significantly higher than
+   under AND (~200 tps);
+2. the three ordering services show no significant difference;
+3. throughput tracks the arrival rate below the peak.
+"""
+
+import collections
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import run_fig2_fig3
+
+
+def test_fig2_overall_throughput(benchmark, show, mode):
+    fig2, _fig3 = run_once(benchmark, run_fig2_fig3, mode=mode)
+    show(fig2)
+
+    peaks = collections.defaultdict(float)
+    for orderer, policy, rate, throughput in fig2.rows:
+        peaks[(orderer, policy)] = max(peaks[(orderer, policy)], throughput)
+
+    for orderer in ("solo", "kafka", "raft"):
+        # Finding 1: OR peaks near 300 tps, AND near 200 tps.
+        assert 260 <= peaks[(orderer, "OR")] <= 350, orderer
+        assert 180 <= peaks[(orderer, "AND")] <= 240, orderer
+        assert peaks[(orderer, "OR")] > 1.25 * peaks[(orderer, "AND")]
+
+    # Finding 2: no significant difference between ordering services.
+    for policy in ("OR", "AND"):
+        values = [peaks[(orderer, policy)]
+                  for orderer in ("solo", "kafka", "raft")]
+        assert max(values) <= 1.10 * min(values), policy
+
+    # Finding 3: below peak, committed throughput tracks the arrival rate.
+    for orderer, policy, rate, throughput in fig2.rows:
+        if rate <= 0.75 * peaks[(orderer, policy)]:
+            assert throughput >= 0.85 * rate

@@ -1,0 +1,38 @@
+"""Fig. 3: overall transaction latency vs arrival rate.
+
+Paper findings checked:
+1. latency increases rapidly once the arrival rate passes the peak
+   throughput;
+2. the AND policy saturates (and its latency spikes) at a lower arrival
+   rate than OR.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import run_fig2_fig3
+
+
+def test_fig3_overall_latency(benchmark, show, mode):
+    _fig2, fig3 = run_once(benchmark, run_fig2_fig3, mode=mode)
+    show(fig3)
+
+    series = {}
+    for orderer, policy, rate, latency in fig3.rows:
+        series.setdefault((orderer, policy), []).append((rate, latency))
+
+    for (orderer, policy), points in series.items():
+        points.sort()
+        low_rate_latency = points[0][1]
+        high_rate_latency = points[-1][1]
+        # Finding 1: a sharp latency rise past saturation.
+        assert high_rate_latency > 2.0 * low_rate_latency, (orderer, policy)
+        # Below-peak latency is modest (block formation dominated).
+        assert low_rate_latency < 1.6, (orderer, policy)
+
+    # Finding 2: at the mid arrival rate, AND is already slower than OR
+    # (its peak comes earlier).
+    for orderer in ("solo", "kafka", "raft"):
+        or_points = sorted(series[(orderer, "OR")])
+        and_points = sorted(series[(orderer, "AND")])
+        mid = len(or_points) // 2
+        assert and_points[mid][1] >= or_points[mid][1] * 0.9
+        assert and_points[-1][1] > or_points[-1][1] * 0.75

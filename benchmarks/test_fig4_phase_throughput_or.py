@@ -1,0 +1,34 @@
+"""Fig. 4: per-phase throughput under the OR endorsement policy.
+
+Paper findings checked:
+1. the bottleneck is the validate phase (execute scales past it, ordering
+   is never binding);
+2. every phase grows linearly with the arrival rate before its peak.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import run_fig4_fig5
+
+
+def test_fig4_phase_throughput_or(benchmark, show, mode):
+    fig4, _fig5 = run_once(benchmark, run_fig4_fig5, mode=mode)
+    show(fig4)
+
+    by_orderer = {}
+    for orderer, rate, execute, order, validate in fig4.rows:
+        by_orderer.setdefault(orderer, []).append(
+            (rate, execute, order, validate))
+
+    for orderer, points in by_orderer.items():
+        points.sort()
+        max_rate, execute, order, validate = points[-1]
+        # Finding 1: validate peaks below execute/order at high load.
+        assert validate < execute, orderer
+        assert validate < order * 1.05, orderer
+        assert 260 <= max(p[3] for p in points) <= 350, orderer
+        # Finding 2: linear growth below the peak.
+        for rate, execute, order, validate in points:
+            if rate <= 250:
+                assert execute >= 0.9 * rate, orderer
+                assert order >= 0.85 * rate, orderer
+                assert validate >= 0.85 * rate, orderer

@@ -1,0 +1,33 @@
+"""Fig. 6: per-phase latency under the OR endorsement policy.
+
+Paper findings checked:
+1. execute latency stays low and stable below the peak (good scalability:
+   more endorsing peers absorb the load);
+2. once the arrival rate passes the validate-phase capacity, the combined
+   order & validate latency rises sharply.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import run_fig6_fig7
+
+
+def test_fig6_phase_latency_or(benchmark, show, mode):
+    fig6, _fig7 = run_once(benchmark, run_fig6_fig7, mode=mode)
+    show(fig6)
+
+    by_orderer = {}
+    for orderer, rate, execute_latency, ov_latency in fig6.rows:
+        by_orderer.setdefault(orderer, []).append(
+            (rate, execute_latency, ov_latency))
+
+    for orderer, points in by_orderer.items():
+        points.sort()
+        below_peak = [p for p in points if p[0] <= 250]
+        past_peak = [p for p in points if p[0] >= 350]
+        # Finding 1: execute latency low and stable below the peak.
+        for rate, execute_latency, _ov in below_peak:
+            assert execute_latency < 0.6, (orderer, rate)
+        # Finding 2: order & validate latency rises sharply past the peak.
+        if below_peak and past_peak:
+            assert (past_peak[-1][2]
+                    > 1.8 * below_peak[0][2]), orderer

@@ -1,0 +1,44 @@
+"""Fig. 7: per-phase latency under the AND5 endorsement policy.
+
+Paper findings checked:
+1. phase latencies remain stable before the peak throughput;
+2. all phases' latencies grow sharply once the arrival rate passes the
+   (lower, ~200 tps) AND peak — the queueing effect;
+3. execute latency under AND exceeds OR (five endorsements are collected
+   per transaction).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import run_fig6_fig7
+
+
+def test_fig7_phase_latency_and(benchmark, show, mode):
+    fig6, fig7 = run_once(benchmark, run_fig6_fig7, mode=mode)
+    show(fig7)
+
+    by_orderer = {}
+    for orderer, rate, execute_latency, ov_latency in fig7.rows:
+        by_orderer.setdefault(orderer, []).append(
+            (rate, execute_latency, ov_latency))
+
+    or_rows = {}
+    for orderer, rate, execute_latency, _ov in fig6.rows:
+        or_rows[(orderer, rate)] = execute_latency
+
+    for orderer, points in by_orderer.items():
+        points.sort()
+        below_peak = [p for p in points if p[0] <= 150]
+        past_peak = [p for p in points if p[0] >= 300]
+        # Finding 1: stability below the AND peak (~200 tps).
+        for rate, execute_latency, ov_latency in below_peak:
+            assert execute_latency < 0.8, (orderer, rate)
+            assert ov_latency < 1.6, (orderer, rate)
+        # Finding 2: sharp growth past the peak, in *both* phases.
+        if below_peak and past_peak:
+            assert past_peak[-1][1] > 1.5 * below_peak[0][1], orderer
+            assert past_peak[-1][2] > 1.5 * below_peak[0][2], orderer
+        # Finding 3: AND execute latency >= OR at comparable low rates.
+        for rate, execute_latency, _ov in below_peak:
+            or_latency = or_rows.get((orderer, rate))
+            if or_latency is not None:
+                assert execute_latency >= 0.9 * or_latency, (orderer, rate)

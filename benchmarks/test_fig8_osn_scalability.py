@@ -1,0 +1,39 @@
+"""Fig. 8: throughput and latency vs number of ordering service nodes.
+
+Paper findings checked:
+1. throughput does not change significantly when scaling OSNs up to 12,
+   for either Kafka or Raft (ordering is not the bottleneck);
+2. latency does not change significantly either;
+3. scaling the ZooKeeper/broker cluster from 3 to 7 makes no significant
+   difference.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import run_fig8
+
+
+def test_fig8_osn_scalability(benchmark, show, mode):
+    fig8 = run_once(benchmark, run_fig8, mode=mode)
+    show(fig8)
+
+    series = {}
+    for orderer, cluster, num_osns, throughput, latency in fig8.rows:
+        series.setdefault((orderer, cluster), []).append(
+            (num_osns, throughput, latency))
+
+    for (orderer, cluster), points in series.items():
+        throughputs = [p[1] for p in points]
+        latencies = [p[2] for p in points]
+        # Finding 1: flat throughput across OSN counts.
+        assert max(throughputs) <= 1.15 * min(throughputs), (orderer,
+                                                             cluster)
+        # Finding 2: flat latency across OSN counts.
+        assert max(latencies) <= 1.5 * min(latencies), (orderer, cluster)
+
+    # Finding 3: cluster size 3 vs 7 makes no significant difference.
+    for orderer in ("kafka", "raft"):
+        small = [p[1] for p in series[(orderer, 3)]]
+        large = [p[1] for p in series[(orderer, 7)]]
+        small_avg = sum(small) / len(small)
+        large_avg = sum(large) / len(large)
+        assert abs(small_avg - large_avg) <= 0.10 * small_avg, orderer

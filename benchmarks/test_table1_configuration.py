@@ -1,0 +1,13 @@
+"""Table I: the experimental configuration (static comparison)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.tables import run_table1
+
+
+def test_table1_configuration(benchmark, show):
+    result = run_once(benchmark, run_table1)
+    show(result)
+    items = dict(zip(result.column("item"), result.column("simulation")))
+    assert items["BatchSize"] == "100"
+    assert "50 tps per client" in items["SDK"]
+    assert "1 Gbps" in items["Network"]

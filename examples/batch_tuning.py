@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Ablation: BatchSize / BatchTimeout vs throughput, latency, block time.
+
+§III defines the two block-cutting conditions; this example sweeps them to
+show the trade-off the defaults (BatchSize 100, BatchTimeout 1 s) strike:
+small batches commit fast but pay per-block overhead at high load; long
+timeouts inflate latency at low load while leaving throughput untouched.
+
+Run:  python examples/batch_tuning.py
+"""
+
+from repro import OrdererConfig, TopologyConfig, WorkloadConfig
+from repro.common.config import ChannelConfig
+from repro.fabric.network import FabricNetwork
+
+
+def run(batch_size: int, batch_timeout: float, rate: float):
+    topology = TopologyConfig(
+        num_endorsing_peers=10,
+        channel=ChannelConfig(endorsement_policy="OR10"),
+        orderer=OrdererConfig(kind="solo", batch_size=batch_size,
+                              batch_timeout=batch_timeout))
+    workload = WorkloadConfig(arrival_rate=rate, duration=15, warmup=3,
+                              cooldown=2)
+    network = FabricNetwork(topology, workload, seed=5)
+    return network.run_workload()
+
+
+def main() -> None:
+    print("BatchSize sweep at 250 tx/s (BatchTimeout fixed at 1 s):\n")
+    print(f"{'batch':>6} {'tput':>8} {'latency':>9} {'block time':>11}")
+    for batch_size in (10, 50, 100, 250, 500):
+        metrics = run(batch_size, 1.0, 250)
+        print(f"{batch_size:6d} {metrics.overall_throughput:8.1f} "
+              f"{metrics.overall_latency:8.2f}s {metrics.block_time:10.3f}s")
+
+    print("\nBatchTimeout sweep at 20 tx/s (BatchSize fixed at 100):\n")
+    print(f"{'timeout':>8} {'tput':>8} {'latency':>9} {'block time':>11}")
+    for batch_timeout in (0.25, 0.5, 1.0, 2.0):
+        metrics = run(100, batch_timeout, 20)
+        print(f"{batch_timeout:7.2f}s {metrics.overall_throughput:8.1f} "
+              f"{metrics.overall_latency:8.2f}s {metrics.block_time:10.3f}s")
+
+    print("\nReading: at high load, block time tracks BatchSize/rate and "
+          "tiny batches\nwaste per-block commit overhead; at low load, "
+          "blocks cut on the timeout, so\nBatchTimeout sets both block time "
+          "(Definition 4.3) and commit latency.")
+
+
+if __name__ == "__main__":
+    main()

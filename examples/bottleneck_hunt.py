@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Bottleneck hunt: reproduce the paper's core finding interactively.
+
+Sweeps the arrival rate over the paper's default deployment under both
+endorsement policies and prints, per phase, where throughput stops tracking
+the offered load — locating the validate-phase bottleneck (§IV.C) and the
+earlier AND knee.  Also cross-checks the measured saturation points against
+the closed-form capacity model in :mod:`repro.analysis`.
+
+Run:  python examples/bottleneck_hunt.py
+"""
+
+from repro.analysis import CapacityModel
+from repro.chaincode.policy import resolve_policy_spec
+from repro.experiments.runner import run_point
+from repro.runtime.costs import CostModel
+
+PEERS = 10
+RATES = [100, 200, 300, 400]
+
+
+def sweep(policy: str) -> None:
+    print(f"--- endorsement policy {policy}, {PEERS} endorsing peers, "
+          "solo ordering ---")
+    print(f"{'rate':>6} {'execute':>9} {'order':>9} {'validate':>9} "
+          f"{'latency':>9}")
+    for rate in RATES:
+        point = run_point("solo", policy, rate, peers=PEERS, duration=12)
+        metrics = point.metrics
+        print(f"{rate:6.0f} {metrics.execute_throughput:9.1f} "
+              f"{metrics.order_throughput:9.1f} "
+              f"{metrics.validate_throughput:9.1f} "
+              f"{metrics.overall_latency:8.2f}s")
+    print()
+
+
+def analytical(policy_spec: str, peers: int) -> None:
+    names = [f"peer{i}" for i in range(peers)]
+    policy = resolve_policy_spec(policy_spec, names)
+    capacities = CapacityModel(CostModel()).capacities(policy, peers)
+    print(f"analytical capacities for {policy_spec}: "
+          f"client={capacities.client:.0f} "
+          f"execute={capacities.execute:.0f} "
+          f"order={capacities.order:.0f} "
+          f"validate={capacities.validate:.0f} "
+          f"-> system {capacities.system:.0f} tx/s, "
+          f"bottleneck: {capacities.bottleneck}")
+
+
+def main() -> None:
+    print("Hunting the system bottleneck (paper §IV.C: it is the validate "
+          "phase).\n")
+    for policy in ("OR10", "AND5"):
+        analytical(policy, PEERS)
+        sweep(policy)
+    print("Reading: execute keeps tracking the offered load past the point "
+          "where validate\nflattens — the validate phase is the bottleneck, "
+          "and it flattens earlier (and\nlower) under AND5 because every "
+          "transaction carries five endorsement\nsignatures through VSCC.")
+
+
+if __name__ == "__main__":
+    main()

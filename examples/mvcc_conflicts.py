@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Application-level performance: read-write conflicts under contention.
+
+The paper's §V notes that money-transfer-style workloads must consider
+read-write conflicts, though most benchmarks (including the paper's own
+1-byte transactions) measure system-level performance with conflict-free
+writes.  This example quantifies the difference: it runs the same arrival
+rate over key spaces of shrinking size (rising contention) and reports the
+MVCC invalidation rate — transactions that are ordered and committed to the
+chain but flagged MVCC_READ_CONFLICT and excluded from the world state.
+
+Run:  python examples/mvcc_conflicts.py
+"""
+
+from repro import OrdererConfig, TopologyConfig, WorkloadConfig
+from repro.common.config import ChannelConfig
+from repro.fabric.network import FabricNetwork
+
+
+def run(key_space: int, skew: float = 0.0):
+    topology = TopologyConfig(
+        num_endorsing_peers=5,
+        channel=ChannelConfig(endorsement_policy="OR(1..n)"),
+        orderer=OrdererConfig(kind="solo"))
+    workload = WorkloadConfig(arrival_rate=100, duration=15, warmup=2,
+                              cooldown=2, key_space=key_space,
+                              read_write_conflict_skew=skew)
+    network = FabricNetwork(topology, workload, seed=11,
+                            workload_kind="conflict")
+    return network.run_workload()
+
+
+def main() -> None:
+    print("MVCC read-write conflicts vs key-space contention "
+          "(100 tx/s, read-modify-write):\n")
+    print(f"{'keys':>8} {'skew':>5} {'goodput':>9} {'invalid/s':>10} "
+          f"{'conflict %':>11}")
+    for key_space in (10_000, 1_000, 100, 10):
+        metrics = run(key_space)
+        total = metrics.overall_throughput + metrics.invalid_rate
+        share = 100 * metrics.invalid_rate / total if total else 0.0
+        print(f"{key_space:8d} {0.0:5.1f} {metrics.overall_throughput:9.1f} "
+              f"{metrics.invalid_rate:10.1f} {share:10.1f}%")
+    # Skewed access concentrates conflicts even over a large key space.
+    metrics = run(10_000, skew=2.5)
+    total = metrics.overall_throughput + metrics.invalid_rate
+    share = 100 * metrics.invalid_rate / total if total else 0.0
+    print(f"{10_000:8d} {2.5:5.1f} {metrics.overall_throughput:9.1f} "
+          f"{metrics.invalid_rate:10.1f} {share:10.1f}%")
+    print("\nReading: every transaction still consumes full endorsement, "
+          "ordering, and\nvalidation resources — but under contention a "
+          "growing share is invalidated\nby the MVCC check and contributes "
+          "nothing to application goodput.")
+
+
+if __name__ == "__main__":
+    main()

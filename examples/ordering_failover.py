@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Crash-fault tolerance: kill consensus leaders mid-workload.
+
+Both Kafka and Raft advertise crash fault tolerance (§III).  This example
+runs a steady workload against each and crashes the current consensus
+leader (the partition-leader broker for Kafka, the Raft leader OSN for
+Raft) halfway through, then reports how the system behaved: the rejection
+blip during failover, the recovered throughput, and the ledger's
+consistency across every peer afterwards.
+
+Run:  python examples/ordering_failover.py
+"""
+
+from repro import OrdererConfig, TopologyConfig, WorkloadConfig
+from repro.common.config import ChannelConfig
+from repro.fabric.network import FabricNetwork
+
+
+def build(kind: str) -> FabricNetwork:
+    topology = TopologyConfig(
+        num_endorsing_peers=5,
+        channel=ChannelConfig(endorsement_policy="OR(1..n)"),
+        orderer=OrdererConfig(kind=kind, num_osns=3))
+    workload = WorkloadConfig(arrival_rate=80, duration=24,
+                              warmup=2, cooldown=2)
+    return FabricNetwork(topology, workload, seed=7)
+
+
+def crash_leader(network: FabricNetwork, kind: str) -> str:
+    if kind == "kafka":
+        leader_name = network.orderer.partition_leader
+        network.orderer.broker_named(leader_name).crash()
+        return f"kafka partition leader {leader_name}"
+    leader = next(node for node in network.orderer.nodes
+                  if node.raft.is_leader)
+    leader.crash()
+    return f"raft leader OSN {leader.name}"
+
+
+def run(kind: str) -> None:
+    network = build(kind)
+    network.start()
+    start_at = network.STABILIZATION
+    network.workload.start(at=start_at)
+    sim = network.sim
+
+    # First half of the workload.
+    crash_time = start_at + 12.0
+    sim.run(until=crash_time)
+    victim = crash_leader(network, kind)
+
+    # Second half + drain.
+    sim.run(until=start_at + 24 + 8)
+
+    first_half = network.metrics.aggregate(start_at + 2, crash_time)
+    second_half = network.metrics.aggregate(crash_time, start_at + 22)
+    print(f"--- {kind}: crashed {victim} at t={crash_time:.0f}s ---")
+    print(f"  before crash : {first_half.overall_throughput:6.1f} tx/s, "
+          f"latency {first_half.overall_latency:.2f}s")
+    print(f"  after crash  : {second_half.overall_throughput:6.1f} tx/s, "
+          f"latency {second_half.overall_latency:.2f}s, "
+          f"rejected {second_half.rejected_rate:.1f} tx/s during failover")
+    network.assert_ledgers_consistent()
+    heights = {peer.ledger.height for peer in network.peers}
+    print(f"  ledgers      : consistent at every peer "
+          f"(height {heights.pop()}), no forks\n")
+
+
+def main() -> None:
+    print("Crash-fault tolerance of the distributed ordering services "
+          "(§III):\n")
+    for kind in ("kafka", "raft"):
+        run(kind)
+    print("Reading: a leader crash pauses ordering for roughly the "
+          "election/session\ntimeout; transactions in flight during the gap "
+          "hit the client's 3-second\nordering timeout and are rejected, "
+          "then throughput recovers — and no peer\never forks its chain.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim so editable installs work without the `wheel` package.
+
+The environment is offline; pip cannot fetch `wheel` for PEP 660 editable
+builds, so this file enables the legacy ``setup.py develop`` path.  All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""Analytical cross-checks: closed-form capacity and queueing estimates.
+
+The simulator's saturation points should be predictable from the cost model
+alone; this package derives them so tests (and users) can check that the
+simulation agrees with first-principles queueing arguments, in the spirit of
+the SRN modelling work the paper cites as related work [18].
+"""
+
+from repro.analysis.capacity import CapacityModel, PhaseCapacities
+from repro.analysis.latency import LatencyBreakdown, LatencyModel
+from repro.analysis.queueing import mm1_wait, mmc_erlang_c, mmc_wait
+
+__all__ = [
+    "CapacityModel",
+    "LatencyBreakdown",
+    "LatencyModel",
+    "PhaseCapacities",
+    "mm1_wait",
+    "mmc_erlang_c",
+    "mmc_wait",
+]

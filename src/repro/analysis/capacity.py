@@ -1,0 +1,102 @@
+"""Closed-form phase capacities from the cost model.
+
+The pipeline saturates at the minimum of its stage capacities:
+
+- **clients**: ``num_clients / (prep + collect + submit)`` CPU seconds;
+- **execute**: under OR each transaction takes one endorsement, spread over
+  the target peers; under AND every target peer endorses every transaction;
+- **order**: OSN envelope handling (never binding in the paper's setup);
+- **validate**: per block of B transactions the peer spends
+  ``verify + B * vscc / workers + B * mvcc + commit`` seconds — VSCC cost
+  grows with endorsements per transaction, which is the paper's reason the
+  AND policy validates slower.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.chaincode.policy import EndorsementPolicy
+from repro.runtime.costs import CostModel
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseCapacities:
+    """Saturation throughput (tx/s) of each pipeline stage."""
+
+    client: float
+    execute: float
+    order: float
+    validate: float
+
+    @property
+    def system(self) -> float:
+        return min(self.client, self.execute, self.order, self.validate)
+
+    @property
+    def bottleneck(self) -> str:
+        capacities = {
+            "client": self.client,
+            "execute": self.execute,
+            "order": self.order,
+            "validate": self.validate,
+        }
+        return min(capacities, key=capacities.get)
+
+
+class CapacityModel:
+    """Analytical throughput predictions for a deployment."""
+
+    def __init__(self, costs: CostModel, batch_size: int = 100) -> None:
+        self.costs = costs
+        self.batch_size = batch_size
+
+    def endorsements_per_tx(self, policy: EndorsementPolicy) -> int:
+        """Endorsements a satisfying envelope carries (minimal plan)."""
+        return policy.min_required()
+
+    def client_capacity(self, num_clients: int) -> float:
+        return num_clients * self.costs.client_capacity()
+
+    def execute_capacity(self, policy: EndorsementPolicy,
+                         num_peers: int) -> float:
+        """Endorsement-stage capacity in transactions/s.
+
+        The policy's targets are spread over ``num_peers`` deployed peers.
+        Under OR, one endorsement per transaction is load-balanced across
+        the targets; under AND, every target endorses every transaction, so
+        adding peers does not add execute capacity.
+        """
+        targets = min(len(policy.principals()), num_peers)
+        per_peer = self.costs.endorser_capacity()
+        endorsements_per_tx = self.endorsements_per_tx(policy)
+        spread = min(targets, num_peers)
+        if endorsements_per_tx <= 0 or spread <= 0:
+            return 0.0
+        # Aggregate endorsement service rate over the targets, divided by
+        # the endorsements each transaction consumes.
+        return per_peer * spread / endorsements_per_tx
+
+    def order_capacity(self) -> float:
+        return self.costs.orderer_cores / self.costs.orderer_per_envelope_cpu
+
+    def validate_capacity(self, policy: EndorsementPolicy) -> float:
+        """Validate-stage capacity, accounting for the serial block path."""
+        endorsements = self.endorsements_per_tx(policy)
+        batch = self.batch_size
+        vscc = (batch * self.costs.vscc_tx_cpu(endorsements)
+                / min(self.costs.validator_workers, self.costs.peer_cores))
+        serial = (self.costs.block_verify_cpu
+                  + batch * self.costs.mvcc_per_tx_cpu
+                  + self.costs.commit_per_block_io
+                  + batch * self.costs.commit_per_tx_io)
+        return batch / (vscc + serial)
+
+    def capacities(self, policy: EndorsementPolicy, num_peers: int,
+                   num_clients: int | None = None) -> PhaseCapacities:
+        clients = num_clients if num_clients is not None else num_peers
+        return PhaseCapacities(
+            client=self.client_capacity(clients),
+            execute=self.execute_capacity(policy, num_peers),
+            order=self.order_capacity(),
+            validate=self.validate_capacity(policy))

@@ -1,0 +1,109 @@
+"""Closed-form latency predictions below saturation.
+
+Complements :mod:`repro.analysis.capacity`: where the capacity model
+predicts *where* throughput saturates, this predicts the latency plateaus
+the paper reports in Table III and Figs. 6-7 before the knee:
+
+- **execute latency** = client CPU + SDK pipeline latency (base + per
+  endorsement) + endorsement service (container round trip + CPU) + client
+  queueing (M/D/1-style at the client's utilization);
+- **order latency** = mean residual block-formation wait (whichever of
+  BatchSize/rate or BatchTimeout binds) + consensus round trip;
+- **validate latency** = block validation (VSCC across the worker pool +
+  serial MVCC + commit I/O) for the expected block size.
+
+These are first-moment approximations, good to a few tens of percent below
+~90% utilization — exactly the regime the paper's latency tables are
+measured in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.queueing import mm1_wait
+from repro.runtime.costs import CostModel
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyBreakdown:
+    """Predicted phase latencies (seconds) at a given arrival rate."""
+
+    execute: float
+    order: float
+    validate: float
+
+    @property
+    def order_validate(self) -> float:
+        """The paper's combined "Order & Validate" number."""
+        return self.order + self.validate
+
+    @property
+    def total(self) -> float:
+        return self.execute + self.order + self.validate
+
+
+class LatencyModel:
+    """Analytical per-phase latency for a deployment below saturation."""
+
+    def __init__(self, costs: CostModel, batch_size: int = 100,
+                 batch_timeout: float = 1.0,
+                 network_latency: float = 0.00025) -> None:
+        self.costs = costs
+        self.batch_size = batch_size
+        self.batch_timeout = batch_timeout
+        self.network_latency = network_latency
+
+    def expected_block_size(self, rate: float) -> float:
+        """Transactions per block: size-cut or timeout-cut."""
+        by_timeout = rate * self.batch_timeout
+        return min(float(self.batch_size), max(1.0, by_timeout))
+
+    def block_formation_wait(self, rate: float) -> float:
+        """Mean wait from envelope arrival to its block being cut."""
+        if rate <= 0:
+            return self.batch_timeout
+        fill_time = self.batch_size / rate
+        window = min(fill_time, self.batch_timeout)
+        # A random arrival waits on average half the cutting window.
+        return window / 2.0
+
+    def execute_latency(self, rate: float, num_clients: int,
+                        endorsements: int) -> float:
+        """Mean execute-phase latency at aggregate arrival ``rate``."""
+        costs = self.costs
+        per_client_rate = rate / max(1, num_clients)
+        client_service = (costs.client_prep_cpu + costs.client_collect_cpu
+                          + costs.client_submit_cpu)
+        client_wait = mm1_wait(per_client_rate, 1.0 / client_service)
+        endorse_service = (costs.endorse_cpu
+                           + costs.chaincode_container_latency)
+        pipeline = (costs.sdk_base_latency
+                    + costs.sdk_per_endorsement_latency * endorsements)
+        round_trips = 2 * self.network_latency
+        return (client_service + client_wait + pipeline + endorse_service
+                + round_trips)
+
+    def order_latency(self, rate: float,
+                      consensus_round_trip: float = 0.002) -> float:
+        """Broadcast to block-cut: formation wait + consensus."""
+        return (self.network_latency + consensus_round_trip
+                + self.block_formation_wait(rate))
+
+    def validate_latency(self, rate: float, endorsements: int) -> float:
+        """Block-cut to commit for the expected block size."""
+        costs = self.costs
+        block = self.expected_block_size(rate)
+        vscc = (block * costs.vscc_tx_cpu(endorsements)
+                / min(costs.validator_workers, costs.peer_cores))
+        serial = (costs.block_verify_cpu + block * costs.mvcc_per_tx_cpu
+                  + costs.commit_per_block_io
+                  + block * costs.commit_per_tx_io)
+        return self.network_latency + vscc + serial
+
+    def breakdown(self, rate: float, num_clients: int,
+                  endorsements: int) -> LatencyBreakdown:
+        return LatencyBreakdown(
+            execute=self.execute_latency(rate, num_clients, endorsements),
+            order=self.order_latency(rate),
+            validate=self.validate_latency(rate, endorsements))

@@ -1,0 +1,46 @@
+"""Elementary queueing formulas used for latency sanity checks."""
+
+from __future__ import annotations
+
+import math
+
+
+def mm1_wait(arrival_rate: float, service_rate: float) -> float:
+    """Mean waiting time (excluding service) in an M/M/1 queue.
+
+    Returns ``inf`` at or beyond saturation.
+    """
+    if service_rate <= 0:
+        raise ValueError("service rate must be positive")
+    rho = arrival_rate / service_rate
+    if rho >= 1:
+        return math.inf
+    return rho / (service_rate - arrival_rate)
+
+
+def mmc_erlang_c(arrival_rate: float, service_rate: float,
+                 servers: int) -> float:
+    """Erlang-C probability that an arrival must wait in M/M/c."""
+    if servers < 1:
+        raise ValueError("need at least one server")
+    if service_rate <= 0:
+        raise ValueError("service rate must be positive")
+    offered = arrival_rate / service_rate
+    rho = offered / servers
+    if rho >= 1:
+        return 1.0
+    summation = sum(offered ** k / math.factorial(k)
+                    for k in range(servers))
+    tail = (offered ** servers
+            / (math.factorial(servers) * (1 - rho)))
+    return tail / (summation + tail)
+
+
+def mmc_wait(arrival_rate: float, service_rate: float,
+             servers: int) -> float:
+    """Mean waiting time (excluding service) in an M/M/c queue."""
+    offered = arrival_rate / service_rate
+    if offered / servers >= 1:
+        return math.inf
+    wait_probability = mmc_erlang_c(arrival_rate, service_rate, servers)
+    return wait_probability / (servers * service_rate - arrival_rate)

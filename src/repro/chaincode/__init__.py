@@ -1,0 +1,47 @@
+"""Chaincode: user contracts, the invocation stub, system chaincodes,
+and the endorsement-policy language.
+
+User chaincodes implement business logic and are executed during the
+*execute* phase, producing read/write sets.  System chaincodes (ESCC, VSCC)
+run inside the peer: ESCC signs proposal responses, VSCC checks endorsement
+policies during the *validate* phase (§II of the paper).
+"""
+
+from repro.chaincode.base import Chaincode, ChaincodeError, ChaincodeStub
+from repro.chaincode.examples import (
+    KVStoreChaincode,
+    MoneyTransferChaincode,
+    NoopChaincode,
+    SmallbankChaincode,
+)
+from repro.chaincode.policy import (
+    And,
+    EndorsementPolicy,
+    Or,
+    OutOf,
+    Principal,
+    parse_policy,
+    resolve_policy_spec,
+)
+from repro.chaincode.registry import ChaincodeRegistry
+from repro.chaincode.system import ESCC, VSCC
+
+__all__ = [
+    "And",
+    "Chaincode",
+    "ChaincodeError",
+    "ChaincodeRegistry",
+    "ChaincodeStub",
+    "ESCC",
+    "EndorsementPolicy",
+    "KVStoreChaincode",
+    "MoneyTransferChaincode",
+    "NoopChaincode",
+    "Or",
+    "OutOf",
+    "Principal",
+    "SmallbankChaincode",
+    "VSCC",
+    "parse_policy",
+    "resolve_policy_spec",
+]

@@ -1,0 +1,198 @@
+"""User chaincodes used by the paper-style workloads.
+
+- :class:`NoopChaincode` — writes one unique key per transaction; the paper's
+  1-byte-transaction benchmark workload (no read-write conflicts, isolates
+  the platform's own costs).
+- :class:`KVStoreChaincode` — general get/put/delete key-value contract.
+- :class:`MoneyTransferChaincode` — bank-account transfers with balance
+  checks; generates read-write conflicts under contention (§V "Workload
+  Designs" motivates this scenario).
+- :class:`SmallbankChaincode` — the Blockbench-style smallbank mix.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.chaincode.base import Chaincode, ChaincodeError, ChaincodeStub
+
+
+def _require_args(args: typing.Sequence[str], count: int,
+                  function: str) -> None:
+    if len(args) != count:
+        raise ChaincodeError(
+            f"{function} expects {count} args, got {len(args)}")
+
+
+class NoopChaincode(Chaincode):
+    """Writes one unique key per transaction; never conflicts."""
+
+    name = "noop"
+
+    def invoke(self, stub: ChaincodeStub, function: str,
+               args: typing.Sequence[str]) -> bytes:
+        if function != "write":
+            raise ChaincodeError(f"unknown function {function!r}")
+        _require_args(args, 2, function)
+        key, value = args
+        stub.put_state(key, value.encode("utf-8"))
+        return b"ok"
+
+
+class KVStoreChaincode(Chaincode):
+    """A general-purpose key-value contract."""
+
+    name = "kvstore"
+
+    def invoke(self, stub: ChaincodeStub, function: str,
+               args: typing.Sequence[str]) -> bytes:
+        if function == "put":
+            _require_args(args, 2, function)
+            stub.put_state(args[0], args[1].encode("utf-8"))
+            return b"ok"
+        if function == "get":
+            _require_args(args, 1, function)
+            value = stub.get_state(args[0])
+            if value is None:
+                raise ChaincodeError(f"key {args[0]!r} not found")
+            return value
+        if function == "delete":
+            _require_args(args, 1, function)
+            stub.del_state(args[0])
+            return b"ok"
+        if function == "update":
+            # Read-modify-write: creates a read dependency (MVCC-sensitive).
+            _require_args(args, 2, function)
+            stub.get_state(args[0])
+            stub.put_state(args[0], args[1].encode("utf-8"))
+            return b"ok"
+        if function == "range":
+            _require_args(args, 2, function)
+            pairs = stub.get_state_range(args[0], args[1])
+            return str(len(pairs)).encode("utf-8")
+        raise ChaincodeError(f"unknown function {function!r}")
+
+
+class MoneyTransferChaincode(Chaincode):
+    """Bank-account transfers with balance checking.
+
+    ``transfer(src, dst, amount)`` reads both balances and writes both —
+    under key contention this is the canonical MVCC-conflict workload.
+    """
+
+    name = "money"
+
+    def init(self, stub: ChaincodeStub, args: typing.Sequence[str]) -> bytes:
+        # args: account names alternating with initial balances.
+        if len(args) % 2 != 0:
+            raise ChaincodeError("init expects account/balance pairs")
+        for account, balance in zip(args[::2], args[1::2]):
+            stub.put_state(account, balance.encode("utf-8"))
+        return b"ok"
+
+    def invoke(self, stub: ChaincodeStub, function: str,
+               args: typing.Sequence[str]) -> bytes:
+        if function == "open":
+            _require_args(args, 2, function)
+            account, balance = args
+            if stub.get_state(account) is not None:
+                raise ChaincodeError(f"account {account!r} already exists")
+            stub.put_state(account, balance.encode("utf-8"))
+            return b"ok"
+        if function == "query":
+            _require_args(args, 1, function)
+            balance = stub.get_state(args[0])
+            if balance is None:
+                raise ChaincodeError(f"no account {args[0]!r}")
+            return balance
+        if function == "transfer":
+            _require_args(args, 3, function)
+            source, destination, amount_text = args
+            amount = self._parse_amount(amount_text)
+            source_balance = self._balance(stub, source)
+            destination_balance = self._balance(stub, destination)
+            if source_balance < amount:
+                raise ChaincodeError(
+                    f"insufficient funds in {source!r}: "
+                    f"{source_balance} < {amount}")
+            stub.put_state(source,
+                           str(source_balance - amount).encode("utf-8"))
+            stub.put_state(destination,
+                           str(destination_balance + amount).encode("utf-8"))
+            return b"ok"
+        raise ChaincodeError(f"unknown function {function!r}")
+
+    @staticmethod
+    def _parse_amount(text: str) -> int:
+        try:
+            amount = int(text)
+        except ValueError:
+            raise ChaincodeError(f"bad amount {text!r}") from None
+        if amount <= 0:
+            raise ChaincodeError(f"amount must be positive, got {amount}")
+        return amount
+
+    @staticmethod
+    def _balance(stub: ChaincodeStub, account: str) -> int:
+        raw = stub.get_state(account)
+        if raw is None:
+            raise ChaincodeError(f"no account {account!r}")
+        return int(raw)
+
+
+class SmallbankChaincode(Chaincode):
+    """The smallbank mix: checking + savings accounts, six operations."""
+
+    name = "smallbank"
+
+    def invoke(self, stub: ChaincodeStub, function: str,
+               args: typing.Sequence[str]) -> bytes:
+        if function == "create_account":
+            _require_args(args, 3, function)
+            customer, checking, savings = args
+            stub.put_state(f"checking:{customer}", checking.encode())
+            stub.put_state(f"savings:{customer}", savings.encode())
+            return b"ok"
+        if function == "transact_savings":
+            _require_args(args, 2, function)
+            return self._adjust(stub, f"savings:{args[0]}", int(args[1]))
+        if function == "deposit_checking":
+            _require_args(args, 2, function)
+            return self._adjust(stub, f"checking:{args[0]}", int(args[1]))
+        if function == "write_check":
+            _require_args(args, 2, function)
+            return self._adjust(stub, f"checking:{args[0]}", -int(args[1]))
+        if function == "send_payment":
+            _require_args(args, 3, function)
+            self._adjust(stub, f"checking:{args[0]}", -int(args[2]))
+            self._adjust(stub, f"checking:{args[1]}", int(args[2]))
+            return b"ok"
+        if function == "amalgamate":
+            _require_args(args, 1, function)
+            savings_key = f"savings:{args[0]}"
+            checking_key = f"checking:{args[0]}"
+            savings = self._read_int(stub, savings_key)
+            checking = self._read_int(stub, checking_key)
+            stub.put_state(savings_key, b"0")
+            stub.put_state(checking_key, str(savings + checking).encode())
+            return b"ok"
+        if function == "query":
+            _require_args(args, 1, function)
+            savings = self._read_int(stub, f"savings:{args[0]}")
+            checking = self._read_int(stub, f"checking:{args[0]}")
+            return str(savings + checking).encode()
+        raise ChaincodeError(f"unknown function {function!r}")
+
+    @staticmethod
+    def _read_int(stub: ChaincodeStub, key: str) -> int:
+        raw = stub.get_state(key)
+        if raw is None:
+            raise ChaincodeError(f"no account key {key!r}")
+        return int(raw)
+
+    def _adjust(self, stub: ChaincodeStub, key: str, delta: int) -> bytes:
+        balance = self._read_int(stub, key) + delta
+        if balance < 0:
+            raise ChaincodeError(f"{key!r} would go negative")
+        stub.put_state(key, str(balance).encode())
+        return b"ok"

@@ -1,0 +1,34 @@
+"""Registry of installed chaincodes on a peer."""
+
+from __future__ import annotations
+
+from repro.chaincode.base import Chaincode
+from repro.common.errors import ConfigurationError
+
+
+class ChaincodeRegistry:
+    """Chaincodes installed on one peer, looked up by name."""
+
+    def __init__(self) -> None:
+        self._chaincodes: dict[str, Chaincode] = {}
+
+    def install(self, chaincode: Chaincode) -> None:
+        if not chaincode.name:
+            raise ConfigurationError(
+                f"{type(chaincode).__name__} has no name set")
+        if chaincode.name in self._chaincodes:
+            raise ConfigurationError(
+                f"chaincode {chaincode.name!r} is already installed")
+        self._chaincodes[chaincode.name] = chaincode
+
+    def get(self, name: str) -> Chaincode:
+        chaincode = self._chaincodes.get(name)
+        if chaincode is None:
+            raise ConfigurationError(f"chaincode {name!r} is not installed")
+        return chaincode
+
+    def installed(self) -> list[str]:
+        return sorted(self._chaincodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._chaincodes

@@ -1,0 +1,217 @@
+"""The client node: the fabric-sdk-node equivalent."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.chaincode.policy import EndorsementPolicy
+from repro.common.types import (
+    Proposal,
+    ProposalResponse,
+    TransactionEnvelope,
+    ValidationCode,
+)
+from repro.msp.identity import Identity
+from repro.runtime.context import NetworkContext
+from repro.runtime.node import NodeBase
+from repro.sim.network import Message
+
+
+class ClientNode(NodeBase):
+    """An asynchronous SDK client submitting transactions end to end."""
+
+    def __init__(self, context: NetworkContext, identity: Identity,
+                 channel: str, policy: EndorsementPolicy,
+                 anchor_peer: str, orderer: str,
+                 ordering_timeout: float = 3.0) -> None:
+        super().__init__(context, identity.name,
+                         cores=context.costs.client_threads)
+        self.identity = identity
+        self.channel = channel
+        self.policy = policy
+        self.anchor_peer = anchor_peer
+        self.orderer = orderer
+        self.ordering_timeout = ordering_timeout
+        self._nonce = 0
+        self._or_counter = 0
+        # tx_id -> event fired by the matching proposal_response/commit.
+        self._response_waiters: dict[str, typing.Any] = {}
+        self._response_buffers: dict[str, list[ProposalResponse]] = {}
+        self._response_needed: dict[str, int] = {}
+        self._commit_waiters: dict[str, typing.Any] = {}
+        self.submitted = 0
+        self.committed = 0
+        self.rejected = 0
+        self.on("proposal_response", self._handle_proposal_response)
+        self.on("commit_event", self._handle_commit_event)
+        self.on("broadcast_ack", self._handle_broadcast_ack)
+        self.on("broadcast_nack", self._handle_broadcast_nack)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def invoke(self, chaincode: str, function: str,
+               args: typing.Sequence[str], tx_size: int = 1) -> typing.Any:
+        """Submit one transaction asynchronously; returns its process.
+
+        The returned process resolves to ``(tx_id, outcome)`` where outcome
+        is ``"committed"``, ``"invalid"`` (on-chain but flagged), or a
+        rejection reason.
+        """
+        return self.sim.process(
+            self._transaction_flow(chaincode, function, tuple(args),
+                                   tx_size))
+
+    # ------------------------------------------------------------------
+    # The transaction flow
+    # ------------------------------------------------------------------
+
+    def _transaction_flow(self, chaincode: str, function: str,
+                          args: tuple[str, ...], tx_size: int):
+        metrics = self.context.metrics
+        self._nonce += 1
+        nonce = self._nonce
+        tx_id = Proposal.compute_tx_id(self.name, nonce)
+        proposal = Proposal(tx_id=tx_id, channel=self.channel,
+                            chaincode=chaincode, function=function,
+                            args=args, creator=self.name, nonce=nonce,
+                            tx_size=tx_size)
+        metrics.tx_submitted(tx_id)
+        self.submitted += 1
+
+        # --- Execute phase -------------------------------------------------
+        yield from self.cpu.use(self.costs.client_prep_cpu)
+        if self.costs.sdk_base_latency > 0:
+            yield self.sim.timeout(self.costs.sdk_base_latency)
+        targets = sorted(self.policy.select_targets(self._choose))
+        if not targets:
+            metrics.tx_rejected(tx_id, "no endorsers")
+            self.rejected += 1
+            return tx_id, "no endorsers"
+        signature = self.identity.sign(proposal.bytes_to_sign())
+        responses = yield from self._gather_endorsements(
+            proposal, signature, targets)
+        good = [r for r in responses if r.ok]
+        failure = self._endorsement_failure(good, targets, responses)
+        if failure is not None:
+            metrics.tx_rejected(tx_id, failure)
+            self.rejected += 1
+            return tx_id, failure
+        metrics.tx_endorsed(tx_id)
+
+        # --- Order phase ---------------------------------------------------
+        yield from self.cpu.use(self.costs.client_submit_cpu)
+        envelope = TransactionEnvelope(
+            tx_id=tx_id, channel=self.channel, chaincode=chaincode,
+            creator=self.name, rwset=good[0].rwset,
+            endorsements=tuple(r.endorsement for r in good),
+            response_bytes=good[0].response_bytes(), tx_size=tx_size,
+            submitted_at=self.sim.now)
+        commit_event = self.sim.event()
+        self._commit_waiters[tx_id] = commit_event
+        self.send(self.anchor_peer, "register_listener", {"tx_id": tx_id})
+        self.send(self.orderer, "broadcast", envelope,
+                  size=envelope.wire_size())
+        metrics.tx_broadcast(tx_id)
+
+        # --- Wait for commit (or the 3-second ordering timeout) ------------
+        deadline = self.sim.timeout(self.ordering_timeout)
+        result = yield self.sim.any_of([commit_event, deadline])
+        self._commit_waiters.pop(tx_id, None)
+        if commit_event not in result:
+            metrics.tx_rejected(tx_id, "ordering timeout")
+            self.rejected += 1
+            return tx_id, "ordering timeout"
+        code: ValidationCode = commit_event.value
+        if code is ValidationCode.VALID:
+            self.committed += 1
+            return tx_id, "committed"
+        return tx_id, "invalid"
+
+    def _choose(self, options: int) -> int:
+        """OR-branch chooser: round-robin across alternatives."""
+        index = self._or_counter % options
+        self._or_counter += 1
+        return index
+
+    def _gather_endorsements(self, proposal: Proposal, signature,
+                             targets: list[str]):
+        """Send the proposal to every target and collect the responses."""
+        tx_id = proposal.tx_id
+        gathered = self.sim.event()
+        self._response_waiters[tx_id] = gathered
+        self._response_buffers[tx_id] = []
+        self._response_needed[tx_id] = len(targets)
+        for target in targets:
+            self.send(target, "proposal",
+                      {"proposal": proposal, "signature": signature},
+                      size=700 + proposal.tx_size)
+        deadline = self.sim.timeout(self.ordering_timeout)
+        yield self.sim.any_of([gathered, deadline])
+        responses = self._response_buffers.pop(tx_id, [])
+        self._response_waiters.pop(tx_id, None)
+        self._response_needed.pop(tx_id, None)
+        # Collection cost: per-response CPU plus SDK pipeline latency.
+        if responses:
+            yield from self.cpu.use(
+                self.costs.client_collect_cpu)
+            extra = self.costs.sdk_per_endorsement_latency * len(responses)
+            if extra > 0:
+                yield self.sim.timeout(extra)
+        return responses
+
+    @staticmethod
+    def _endorsement_failure(good: list[ProposalResponse],
+                             targets: list[str],
+                             all_responses: list[ProposalResponse]
+                             ) -> str | None:
+        if len(all_responses) < len(targets):
+            return "endorsement timeout"
+        if len(good) < len(targets):
+            bad = next(r for r in all_responses if not r.ok)
+            return f"endorsement failed: {bad.message}"
+        reference = good[0].rwset.digest()
+        if any(r.rwset.digest() != reference for r in good[1:]):
+            return "endorsements disagree"
+        return None
+
+    # ------------------------------------------------------------------
+    # Message handlers
+    # ------------------------------------------------------------------
+
+    def _handle_proposal_response(self, message: Message):
+        response: ProposalResponse = message.payload
+        buffer = self._response_buffers.get(response.tx_id)
+        if buffer is None:
+            return  # response after timeout; drop
+        buffer.append(response)
+        if len(buffer) >= self._response_needed[response.tx_id]:
+            waiter = self._response_waiters.get(response.tx_id)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed()
+        return
+        yield  # pragma: no cover
+
+    def _handle_commit_event(self, message: Message):
+        tx_id = message.payload["tx_id"]
+        code: ValidationCode = message.payload["code"]
+        metrics = self.context.metrics
+        metrics.tx_validated(tx_id, code)
+        metrics.tx_committed(tx_id)
+        waiter = self._commit_waiters.get(tx_id)
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed(code)
+        return
+        yield  # pragma: no cover
+
+    def _handle_broadcast_ack(self, message: Message):
+        return
+        yield  # pragma: no cover
+
+    def _handle_broadcast_nack(self, message: Message):
+        tx_id = message.payload["tx_id"]
+        self.context.metrics.tx_rejected(
+            tx_id, f"orderer nack: {message.payload['reason']}")
+        return
+        yield  # pragma: no cover

@@ -1,0 +1,86 @@
+"""Open-loop workload generation across multiple clients (§IV.A).
+
+The aggregate arrival rate λ is split evenly across the client processes
+(Fig. 1's per-peer fractions).  Arrivals are open-loop: a new transaction is
+invoked on schedule whether or not earlier ones have completed, matching the
+paper's asynchronous invocation.  Supported workloads:
+
+- ``unique``  — every transaction writes a fresh key (the paper's 1-byte
+  benchmark transaction; no read-write conflicts);
+- ``conflict`` — read-modify-write over a shared key space with optional
+  Zipf-like skew, producing MVCC invalidations (the §V money-transfer-style
+  scenario).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.client.sdk import ClientNode
+from repro.common.config import WorkloadConfig
+from repro.common.errors import ConfigurationError
+
+
+class WorkloadGenerator:
+    """Drives a set of clients at an aggregate arrival rate."""
+
+    def __init__(self, clients: list[ClientNode], config: WorkloadConfig,
+                 chaincode: str = "noop", workload: str = "unique") -> None:
+        if not clients:
+            raise ConfigurationError("workload needs at least one client")
+        config.validate()
+        if workload not in ("unique", "conflict"):
+            raise ConfigurationError(f"unknown workload {workload!r}")
+        self.clients = clients
+        self.config = config
+        self.chaincode = chaincode
+        self.workload = workload
+        self.transactions_started = 0
+        self._processes: list[typing.Any] = []
+
+    def start(self, at: float = 0.0) -> None:
+        """Launch one open-loop arrival process per client."""
+        sim = self.clients[0].sim
+        per_client_rate = self.config.arrival_rate / len(self.clients)
+        for index, client in enumerate(self.clients):
+            self._processes.append(sim.process(
+                self._arrival_loop(client, index, per_client_rate, at)))
+
+    def _arrival_loop(self, client: ClientNode, index: int, rate: float,
+                      start_at: float):
+        sim = client.sim
+        rng = client.context.rng.stream(f"workload.{client.name}")
+        if start_at > sim.now:
+            yield sim.timeout(start_at - sim.now)
+        interval = 1.0 / rate
+        end_time = start_at + self.config.duration
+        # Stagger client start phases so aggregate arrivals are smooth.
+        yield sim.timeout(interval * index / len(self.clients))
+        sequence = 0
+        while sim.now < end_time:
+            function, args = self._next_call(client, rng, sequence)
+            client.invoke(self.chaincode, function, args,
+                          tx_size=self.config.tx_size)
+            self.transactions_started += 1
+            sequence += 1
+            if self.config.arrival_process == "poisson":
+                yield sim.timeout(rng.expovariate(rate))
+            else:
+                yield sim.timeout(interval)
+
+    def _next_call(self, client: ClientNode, rng, sequence: int
+                   ) -> tuple[str, list[str]]:
+        if self.workload == "unique":
+            key = f"{client.name}-k{sequence}"
+            return "write", [key, "x" * max(1, self.config.tx_size)]
+        # Conflicting read-modify-write over a bounded key space.
+        key_space = self.config.key_space
+        skew = self.config.read_write_conflict_skew
+        if skew > 0:
+            # Zipf-like via inverse-power transform of a uniform draw.
+            u = max(rng.random(), 1e-9)
+            key_index = int(key_space * (u ** (1.0 + skew))) % key_space
+        else:
+            key_index = rng.randrange(key_space)
+        value = f"{client.name}-{sequence}"
+        return "update", [f"acct{key_index}", value]

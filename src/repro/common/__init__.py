@@ -1,0 +1,47 @@
+"""Shared data types, configuration, crypto, and errors."""
+
+from repro.common.config import (
+    ChannelConfig,
+    OrdererConfig,
+    TopologyConfig,
+    WorkloadConfig,
+)
+from repro.common.crypto import CryptoProvider, Signature, sha256_hex
+from repro.common.errors import (
+    ConfigurationError,
+    EndorsementError,
+    FabricError,
+    OrderingError,
+    ValidationError,
+)
+from repro.common.types import (
+    Block,
+    BlockMetadata,
+    Endorsement,
+    Proposal,
+    ProposalResponse,
+    TransactionEnvelope,
+    ValidationCode,
+)
+
+__all__ = [
+    "Block",
+    "BlockMetadata",
+    "ChannelConfig",
+    "ConfigurationError",
+    "CryptoProvider",
+    "Endorsement",
+    "EndorsementError",
+    "FabricError",
+    "OrdererConfig",
+    "OrderingError",
+    "Proposal",
+    "ProposalResponse",
+    "Signature",
+    "TopologyConfig",
+    "TransactionEnvelope",
+    "ValidationCode",
+    "ValidationError",
+    "WorkloadConfig",
+    "sha256_hex",
+]

@@ -1,0 +1,148 @@
+"""Configuration dataclasses for networks, channels, orderers, workloads.
+
+Defaults mirror the paper's experimental configuration (Table I and §III/§IV):
+20 machines, 1 Gbps Ethernet, BatchSize 100, BatchTimeout 1 s, Kafka
+partition=1 / replication-factor=3, a 3-second client-side ordering timeout,
+and one workload client per endorsing peer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.errors import ConfigurationError
+
+ORDERER_KINDS = ("solo", "kafka", "raft")
+
+
+@dataclasses.dataclass
+class OrdererConfig:
+    """Ordering-service configuration (§III of the paper)."""
+
+    kind: str = "solo"
+    num_osns: int = 1
+    # Kafka-specific (ignored by solo/raft):
+    num_brokers: int = 3
+    num_zookeepers: int = 3
+    partitions: int = 1
+    replication_factor: int = 3
+    # Block cutting (shared by all kinds):
+    batch_size: int = 100
+    batch_timeout: float = 1.0
+    # Consensus-internal timing:
+    raft_election_timeout: float = 0.5
+    raft_heartbeat_interval: float = 0.1
+    kafka_session_timeout: float = 1.0
+    kafka_heartbeat_interval: float = 0.25
+    kafka_isr_ack_timeout: float = 0.5
+
+    def validate(self) -> None:
+        if self.kind not in ORDERER_KINDS:
+            raise ConfigurationError(
+                f"unknown orderer kind {self.kind!r}; "
+                f"expected one of {ORDERER_KINDS}")
+        if self.num_osns < 1:
+            raise ConfigurationError("need at least one ordering service node")
+        if self.kind == "solo" and self.num_osns != 1:
+            raise ConfigurationError(
+                "solo ordering runs on a single node by definition")
+        if self.batch_size < 1:
+            raise ConfigurationError("BatchSize must be >= 1")
+        if self.batch_timeout <= 0:
+            raise ConfigurationError("BatchTimeout must be positive")
+        if self.kind == "kafka":
+            if self.num_brokers < 1 or self.num_zookeepers < 1:
+                raise ConfigurationError(
+                    "kafka requires at least one broker and one zookeeper")
+            if self.replication_factor > self.num_brokers:
+                raise ConfigurationError(
+                    f"replication factor {self.replication_factor} exceeds "
+                    f"broker count {self.num_brokers}")
+            if self.partitions != 1:
+                raise ConfigurationError(
+                    "Fabric uses one Kafka partition per channel")
+
+
+@dataclasses.dataclass
+class ChannelConfig:
+    """A channel and the endorsement policy governing it."""
+
+    name: str = "mychannel"
+    endorsement_policy: str = "OR(1..n)"  # resolved by the policy parser
+    chaincode: str = "kvstore"
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ConfigurationError("channel name must be non-empty")
+        if not self.endorsement_policy:
+            raise ConfigurationError("endorsement policy must be non-empty")
+
+
+@dataclasses.dataclass
+class WorkloadConfig:
+    """Open-loop workload parameters (§IV.A of the paper)."""
+
+    arrival_rate: float = 100.0      # aggregate transactions per second
+    duration: float = 30.0           # seconds of load generation
+    tx_size: int = 1                 # paper default: 1-byte transactions
+    num_clients: int | None = None   # default: one client per endorsing peer
+    arrival_process: str = "uniform"  # "uniform" or "poisson"
+    ordering_timeout: float = 3.0    # client rejects after this (paper §IV.C)
+    warmup: float = 3.0              # measurement window trim, start
+    cooldown: float = 2.0            # measurement window trim, end
+    key_space: int = 10_000          # distinct keys touched by the workload
+    read_write_conflict_skew: float = 0.0  # 0 = uniform keys, >0 = zipfian
+
+    def validate(self) -> None:
+        if self.arrival_rate <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if self.arrival_process not in ("uniform", "poisson"):
+            raise ConfigurationError(
+                f"unknown arrival process {self.arrival_process!r}")
+        if self.num_clients is not None and self.num_clients < 1:
+            raise ConfigurationError("need at least one client")
+        if self.warmup + self.cooldown >= self.duration:
+            raise ConfigurationError(
+                "warmup + cooldown must leave a measurement window")
+
+
+@dataclasses.dataclass
+class TopologyConfig:
+    """Machine and node placement, mirroring the paper's 20-machine cluster."""
+
+    num_endorsing_peers: int = 10
+    num_committing_only_peers: int = 0
+    orderer: OrdererConfig = dataclasses.field(default_factory=OrdererConfig)
+    channel: ChannelConfig = dataclasses.field(default_factory=ChannelConfig)
+    #: Further channels beyond the primary one; every peer joins all of
+    #: them and the ordering service orders each independently (§II).
+    extra_channels: list[ChannelConfig] = dataclasses.field(
+        default_factory=list)
+    # 1 Gbps Ethernet; bandwidth in bytes/second.
+    network_bandwidth: float = 125_000_000.0
+    network_latency: float = 0.00025
+    network_jitter: float = 0.2
+    tls_enabled: bool = True
+    #: False: every peer opens a deliver stream to an OSN (the paper's
+    #: setup).  True: only a leader peer does, and gossips blocks onward.
+    gossip: bool = False
+
+    def validate(self) -> None:
+        if self.num_endorsing_peers < 1:
+            raise ConfigurationError("need at least one endorsing peer")
+        if self.num_committing_only_peers < 0:
+            raise ConfigurationError("committing-only peer count must be >= 0")
+        self.orderer.validate()
+        self.channel.validate()
+        names = [self.channel.name]
+        for channel in self.extra_channels:
+            channel.validate()
+            names.append(channel.name)
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate channel names in {names}")
+
+    @property
+    def num_peers(self) -> int:
+        return self.num_endorsing_peers + self.num_committing_only_peers

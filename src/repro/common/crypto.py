@@ -1,0 +1,76 @@
+"""Deterministic, verifiable signatures without external dependencies.
+
+The real Fabric uses ECDSA X.509 certificates.  Offline and in simulation we
+substitute a *symmetric PKI*: the certificate authority derives each
+identity's signing key from its root secret (``key = HMAC(root, subject)``),
+so any node enrolled with the CA can re-derive the key and verify signatures.
+This preserves the code paths the paper measures — every endorsement is
+signed and every signature is verified during VSCC — and tampering with
+signed bytes is actually detected.  The CPU cost of real ECDSA is modelled
+separately by the cost model; these functions are for correctness, not
+timing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import hmac
+
+
+def sha256_hex(data: bytes) -> str:
+    """Hex digest of SHA-256 over ``data``."""
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class Signature:
+    """A signature over a message digest by a named identity."""
+
+    signer: str
+    digest: str
+    mac: str
+
+    def __post_init__(self) -> None:
+        if not self.signer:
+            raise ValueError("signature must name its signer")
+
+
+class CryptoProvider:
+    """Derives per-identity keys from a root secret; signs and verifies.
+
+    One provider instance corresponds to one certificate authority's trust
+    domain.  All nodes enrolled with that CA share the provider (or an equal
+    copy constructed from the same root secret).
+    """
+
+    def __init__(self, root_secret: bytes) -> None:
+        if not root_secret:
+            raise ValueError("root secret must be non-empty")
+        self._root_secret = root_secret
+        self._key_cache: dict[str, bytes] = {}
+
+    def derive_key(self, subject: str) -> bytes:
+        """The signing key for ``subject`` (deterministic)."""
+        key = self._key_cache.get(subject)
+        if key is None:
+            key = hmac.new(self._root_secret, subject.encode("utf-8"),
+                           hashlib.sha256).digest()
+            self._key_cache[subject] = key
+        return key
+
+    def sign(self, subject: str, message: bytes) -> Signature:
+        """Sign ``message`` as ``subject``."""
+        digest = sha256_hex(message)
+        mac = hmac.new(self.derive_key(subject), digest.encode("utf-8"),
+                       hashlib.sha256).hexdigest()
+        return Signature(signer=subject, digest=digest, mac=mac)
+
+    def verify(self, signature: Signature, message: bytes) -> bool:
+        """True iff ``signature`` is a valid signature over ``message``."""
+        if sha256_hex(message) != signature.digest:
+            return False
+        expected = hmac.new(self.derive_key(signature.signer),
+                            signature.digest.encode("utf-8"),
+                            hashlib.sha256).hexdigest()
+        return hmac.compare_digest(expected, signature.mac)

@@ -1,0 +1,21 @@
+"""Exception hierarchy for the Fabric simulation."""
+
+
+class FabricError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(FabricError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class EndorsementError(FabricError):
+    """A transaction proposal failed endorsement checks."""
+
+
+class OrderingError(FabricError):
+    """The ordering service could not accept or order an envelope."""
+
+
+class ValidationError(FabricError):
+    """A block or transaction failed validation."""

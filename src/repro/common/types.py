@@ -1,0 +1,225 @@
+"""Core wire-level data types of the Fabric transaction flow.
+
+These mirror the protobuf messages of Hyperledger Fabric v1.4 closely enough
+that every step of the execute-order-validate flow operates on realistic
+structures: proposals carry creator and nonce; proposal responses carry
+simulated read/write sets and endorsement signatures; envelopes aggregate
+endorsements; blocks are hash-chained and carry per-transaction validation
+flags in their metadata, exactly as Fabric records them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+from repro.common.crypto import Signature, sha256_hex
+
+# A state version is the (block number, tx number) that last wrote a key —
+# Fabric calls this the key's "height".
+Version = typing.Tuple[int, int]
+
+
+class ValidationCode(enum.Enum):
+    """Per-transaction validation outcome recorded in block metadata.
+
+    A subset of Fabric's ``TxValidationCode`` covering every outcome the
+    simulation can produce.
+    """
+
+    VALID = 0
+    MVCC_READ_CONFLICT = 11
+    PHANTOM_READ_CONFLICT = 12
+    ENDORSEMENT_POLICY_FAILURE = 10
+    BAD_SIGNATURE = 4
+    DUPLICATE_TXID = 30
+    INVALID_OTHER = 255
+
+    @property
+    def is_valid(self) -> bool:
+        return self is ValidationCode.VALID
+
+
+@dataclasses.dataclass(frozen=True)
+class KVRead:
+    """A key read during simulation, with the version that was read."""
+
+    key: str
+    version: Version | None  # None when the key did not exist
+
+
+@dataclasses.dataclass(frozen=True)
+class KVWrite:
+    """A key write produced during simulation."""
+
+    key: str
+    value: bytes
+    is_delete: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class TxReadWriteSet:
+    """The read/write set produced by simulating a chaincode invocation."""
+
+    reads: tuple[KVRead, ...]
+    writes: tuple[KVWrite, ...]
+
+    @property
+    def read_keys(self) -> tuple[str, ...]:
+        return tuple(read.key for read in self.reads)
+
+    @property
+    def write_keys(self) -> tuple[str, ...]:
+        return tuple(write.key for write in self.writes)
+
+    def digest(self) -> str:
+        """Stable digest used for endorsement comparison and signing."""
+        parts = [f"r:{r.key}:{r.version}" for r in self.reads]
+        parts += [
+            f"w:{w.key}:{sha256_hex(w.value)}:{w.is_delete}"
+            for w in self.writes
+        ]
+        return sha256_hex("|".join(parts).encode("utf-8"))
+
+
+@dataclasses.dataclass(frozen=True)
+class Proposal:
+    """A transaction proposal submitted by a client to endorsing peers."""
+
+    tx_id: str
+    channel: str
+    chaincode: str
+    function: str
+    args: tuple[str, ...]
+    creator: str
+    nonce: int
+    tx_size: int = 1  # payload bytes, the paper's "transaction size"
+
+    def bytes_to_sign(self) -> bytes:
+        return (f"{self.tx_id}|{self.channel}|{self.chaincode}|"
+                f"{self.function}|{','.join(self.args)}|{self.creator}|"
+                f"{self.nonce}").encode("utf-8")
+
+    @staticmethod
+    def compute_tx_id(creator: str, nonce: int) -> str:
+        """Fabric derives the tx id as a hash over nonce and creator."""
+        return sha256_hex(f"{creator}:{nonce}".encode("utf-8"))
+
+
+@dataclasses.dataclass(frozen=True)
+class Endorsement:
+    """One endorsing peer's signature over a proposal response."""
+
+    endorser: str
+    msp_id: str
+    signature: Signature
+
+
+@dataclasses.dataclass(frozen=True)
+class ProposalResponse:
+    """An endorsing peer's response to a proposal."""
+
+    tx_id: str
+    endorser: str
+    status: int  # 200 on success, 500 on chaincode/endorsement failure
+    payload: bytes
+    rwset: TxReadWriteSet | None
+    endorsement: Endorsement | None
+    message: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200 and self.endorsement is not None
+
+    def response_bytes(self) -> bytes:
+        rwset_digest = self.rwset.digest() if self.rwset else "-"
+        return (f"{self.tx_id}|{self.status}|{rwset_digest}|"
+                f"{sha256_hex(self.payload)}").encode("utf-8")
+
+
+@dataclasses.dataclass
+class TransactionEnvelope:
+    """A client-assembled transaction submitted to the ordering service."""
+
+    tx_id: str
+    channel: str
+    chaincode: str
+    creator: str
+    rwset: TxReadWriteSet
+    endorsements: tuple[Endorsement, ...]
+    response_bytes: bytes
+    tx_size: int = 1
+    submitted_at: float = 0.0  # set by the client when broadcast
+
+    def wire_size(self) -> int:
+        """Approximate serialized size in bytes.
+
+        Mirrors Fabric's envelope layout: headers + payload + one signature
+        block (~200 B) per endorsement + rw-set entries.
+        """
+        header = 512
+        per_endorsement = 200
+        per_rw_entry = 64
+        rw_entries = len(self.rwset.reads) + len(self.rwset.writes)
+        return (header + self.tx_size
+                + per_endorsement * len(self.endorsements)
+                + per_rw_entry * rw_entries)
+
+
+@dataclasses.dataclass
+class BlockMetadata:
+    """Per-block metadata: orderer signature and validation flags."""
+
+    orderer: str = ""
+    signature: Signature | None = None
+    validation_flags: list[ValidationCode] = dataclasses.field(
+        default_factory=list)
+    # Timestamps stamped by the pipeline for metrics (simulated seconds).
+    cut_at: float = 0.0
+    consensus_at: float = 0.0
+
+
+@dataclasses.dataclass
+class Block:
+    """A hash-chained block of transaction envelopes."""
+
+    number: int
+    previous_hash: str
+    transactions: tuple[TransactionEnvelope, ...]
+    channel: str
+    data_hash: str = ""
+    metadata: BlockMetadata = dataclasses.field(default_factory=BlockMetadata)
+
+    def __post_init__(self) -> None:
+        if not self.data_hash:
+            self.data_hash = self.compute_data_hash()
+
+    def compute_data_hash(self) -> str:
+        """Digest over the ordered transaction ids and rw-set digests."""
+        parts = [f"{tx.tx_id}:{tx.rwset.digest()}" for tx in self.transactions]
+        return sha256_hex("|".join(parts).encode("utf-8"))
+
+    def header_hash(self) -> str:
+        """The hash by which the next block references this one."""
+        return sha256_hex(
+            f"{self.number}|{self.previous_hash}|{self.data_hash}"
+            .encode("utf-8"))
+
+    def header_bytes(self) -> bytes:
+        return self.header_hash().encode("utf-8")
+
+    def wire_size(self) -> int:
+        """Approximate serialized size in bytes for network transfer."""
+        return 256 + sum(tx.wire_size() for tx in self.transactions)
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    GENESIS_PREVIOUS_HASH = "0" * 64
+
+    @classmethod
+    def genesis(cls, channel: str) -> "Block":
+        """The configuration block at height 0."""
+        return cls(number=0, previous_hash=cls.GENESIS_PREVIOUS_HASH,
+                   transactions=(), channel=channel)

@@ -1,0 +1,89 @@
+"""Command-line entry point: regenerate any (or all) paper artifacts.
+
+Usage::
+
+    fabric-repro tab1
+    fabric-repro fig2 --full
+    fabric-repro all --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+from repro.experiments.figures import (
+    run_fig2_fig3,
+    run_fig4_fig5,
+    run_fig6_fig7,
+    run_fig8,
+)
+from repro.experiments.tables import run_table1, run_table2_table3
+
+EXPERIMENT_IDS = ["tab1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+                  "tab2", "tab3", "fig8"]
+
+
+def _results_for(experiment_id: str, mode: str, seed: int):
+    if experiment_id == "tab1":
+        return [run_table1()]
+    if experiment_id in ("fig2", "fig3"):
+        fig2, fig3 = run_fig2_fig3(mode=mode, seed=seed)
+        return [fig2 if experiment_id == "fig2" else fig3]
+    if experiment_id in ("fig4", "fig5"):
+        fig4, fig5 = run_fig4_fig5(mode=mode, seed=seed)
+        return [fig4 if experiment_id == "fig4" else fig5]
+    if experiment_id in ("fig6", "fig7"):
+        fig6, fig7 = run_fig6_fig7(mode=mode, seed=seed)
+        return [fig6 if experiment_id == "fig6" else fig7]
+    if experiment_id in ("tab2", "tab3"):
+        tab2, tab3 = run_table2_table3(mode=mode, seed=seed)
+        return [tab2 if experiment_id == "tab2" else tab3]
+    if experiment_id == "fig8":
+        return [run_fig8(mode=mode, seed=seed)]
+    raise ValueError(f"unknown experiment {experiment_id!r}")
+
+
+def main(argv: typing.Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fabric-repro",
+        description="Regenerate the tables and figures of Wang & Chu, "
+                    "'Performance Characterization and Bottleneck Analysis "
+                    "of Hyperledger Fabric' (ICDCS 2020).")
+    parser.add_argument("experiment", choices=EXPERIMENT_IDS + ["all"],
+                        help="which artifact to regenerate")
+    parser.add_argument("--full", action="store_true",
+                        help="run the paper-scale sweep (slower)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="simulation seed (default 1)")
+    parser.add_argument("--plot", action="store_true",
+                        help="render figure-shaped ASCII charts as well")
+    args = parser.parse_args(argv)
+
+    mode = "full" if args.full else "quick"
+    if args.experiment == "all":
+        # Run paired experiments once each.
+        results = [run_table1()]
+        results.extend(run_fig2_fig3(mode=mode, seed=args.seed))
+        results.extend(run_fig4_fig5(mode=mode, seed=args.seed))
+        results.extend(run_fig6_fig7(mode=mode, seed=args.seed))
+        results.extend(run_table2_table3(mode=mode, seed=args.seed))
+        results.append(run_fig8(mode=mode, seed=args.seed))
+    else:
+        results = _results_for(args.experiment, mode, args.seed)
+    for result in results:
+        print(result.render())
+        print()
+        if args.plot:
+            from repro.experiments.plots import plot_if_supported
+
+            chart = plot_if_supported(result)
+            if chart is not None:
+                print(chart)
+                print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

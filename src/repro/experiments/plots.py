@@ -1,0 +1,124 @@
+"""ASCII line plots for regenerated figures.
+
+The paper's figures are throughput/latency-vs-arrival-rate line charts;
+``fabric-repro <fig> --plot`` renders the regenerated series in the same
+shape directly in the terminal, one panel per group (e.g. per ordering
+service), one glyph per series (e.g. OR vs AND).
+"""
+
+from __future__ import annotations
+
+import typing
+
+Series = typing.Dict[str, typing.List[typing.Tuple[float, float]]]
+
+GLYPHS = "o*x+#@"
+
+
+def ascii_plot(series: Series, width: int = 60, height: int = 16,
+               title: str = "", x_label: str = "", y_label: str = "") -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    Points from different series landing on the same cell show the glyph of
+    the later series (legend order).  Axes are linear, anchored at 0 on y.
+    """
+    if not series or all(not points for points in series.values()):
+        return f"{title}\n(no data)"
+    xs = [x for points in series.values() for x, _y in points]
+    ys = [y for points in series.values() for _x, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = 0.0, max(ys)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> tuple[int, int]:
+        column = round((x - x_low) / (x_high - x_low) * (width - 1))
+        row = round((y - y_low) / (y_high - y_low) * (height - 1))
+        return (height - 1 - row), column
+
+    for index, (name, points) in enumerate(series.items()):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        for x, y in points:
+            row, column = cell(x, y)
+            grid[row][column] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_high:.3g}"
+    lines.append(f"{top_label:>8} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " |" + "".join(row))
+    bottom_label = f"{y_low:.3g}"
+    lines.append(f"{bottom_label:>8} +" + "".join(grid[-1]))
+    axis = " " * 9 + "+" + "-" * width
+    lines.append(axis)
+    x_axis_labels = (" " * 10 + f"{x_low:<.4g}"
+                     + " " * max(1, width - 16) + f"{x_high:>.4g}")
+    lines.append(x_axis_labels)
+    if x_label or y_label:
+        lines.append(" " * 10 + f"x: {x_label}   y: {y_label}")
+    legend = "   ".join(f"{GLYPHS[i % len(GLYPHS)]} {name}"
+                        for i, name in enumerate(series))
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def plot_result(result, group_by: str, x: str, y: str,
+                series_by: str | None = None,
+                width: int = 60, height: int = 14) -> str:
+    """Plot an :class:`~repro.experiments.report.ExperimentResult`.
+
+    ``group_by`` names the column that splits panels, ``series_by`` the
+    column that splits lines within a panel, ``x``/``y`` the axis columns.
+    """
+    columns = result.columns
+    group_index = columns.index(group_by)
+    x_index = columns.index(x)
+    y_index = columns.index(y)
+    series_index = columns.index(series_by) if series_by else None
+
+    panels: dict[typing.Any, Series] = {}
+    for row in result.rows:
+        panel = panels.setdefault(row[group_index], {})
+        series_name = (str(row[series_index]) if series_index is not None
+                       else y)
+        panel.setdefault(series_name, []).append(
+            (float(row[x_index]), float(row[y_index])))
+
+    rendered = []
+    for group_value, series in panels.items():
+        for points in series.values():
+            points.sort()
+        rendered.append(ascii_plot(
+            series, width=width, height=height,
+            title=f"[{result.experiment_id}] {group_by}={group_value}",
+            x_label=x, y_label=y))
+    return "\n\n".join(rendered)
+
+
+#: How to plot each experiment id: (group_by, x, y, series_by).
+PLOT_SPECS = {
+    "fig2": ("orderer", "arrival_rate", "throughput_tps", "policy"),
+    "fig3": ("orderer", "arrival_rate", "latency_s", "policy"),
+    "fig4": ("orderer", "arrival_rate", "validate_tps", None),
+    "fig5": ("orderer", "arrival_rate", "validate_tps", None),
+    "fig6": ("orderer", "arrival_rate", "order_validate_latency_s", None),
+    "fig7": ("orderer", "arrival_rate", "order_validate_latency_s", None),
+    "fig8": ("orderer", "num_osns", "throughput_tps", "zk_and_brokers"),
+    "tab2": ("policy", "endorsing_peers", "throughput_tps", None),
+}
+
+
+def plot_if_supported(result) -> str | None:
+    """Plot a result if a spec exists for it; None otherwise."""
+    spec = PLOT_SPECS.get(result.experiment_id)
+    if spec is None:
+        return None
+    group_by, x, y, series_by = spec
+    return plot_result(result, group_by=group_by, x=x, y=y,
+                       series_by=series_by)

@@ -1,0 +1,87 @@
+"""Shared experiment execution: single points, sweeps, peak search."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.config import (
+    ChannelConfig,
+    OrdererConfig,
+    TopologyConfig,
+    WorkloadConfig,
+)
+from repro.fabric.run import run_experiment
+from repro.metrics.collector import PhaseMetrics
+
+#: Paper defaults for figures 2-7: 10 endorsing peers; AND means AND5.
+DEFAULT_PEERS = 10
+OR_POLICY = "OR10"
+AND_POLICY = "AND5"
+
+
+@dataclasses.dataclass
+class SweepPoint:
+    """One (configuration, arrival rate) measurement."""
+
+    orderer_kind: str
+    policy: str
+    peers: int
+    rate: float
+    metrics: PhaseMetrics
+
+    @property
+    def throughput(self) -> float:
+        return self.metrics.overall_throughput
+
+    @property
+    def latency(self) -> float:
+        return self.metrics.overall_latency
+
+
+def make_topology(orderer_kind: str, policy: str, peers: int,
+                  num_osns: int | None = None,
+                  num_brokers: int = 3,
+                  num_zookeepers: int = 3) -> TopologyConfig:
+    """Topology following the paper's §IV.A deployment."""
+    if num_osns is None:
+        num_osns = 1 if orderer_kind == "solo" else 3
+    orderer = OrdererConfig(
+        kind=orderer_kind, num_osns=num_osns,
+        num_brokers=num_brokers, num_zookeepers=num_zookeepers,
+        replication_factor=min(3, num_brokers))
+    return TopologyConfig(
+        num_endorsing_peers=peers,
+        channel=ChannelConfig(endorsement_policy=policy),
+        orderer=orderer)
+
+
+def make_workload(rate: float, duration: float = 15.0) -> WorkloadConfig:
+    """Paper workload: 1-byte transactions, 3 s ordering timeout."""
+    return WorkloadConfig(arrival_rate=rate, duration=duration,
+                          warmup=min(3.0, duration / 4),
+                          cooldown=min(2.0, duration / 6), tx_size=1)
+
+
+def run_point(orderer_kind: str, policy: str, rate: float,
+              peers: int = DEFAULT_PEERS, duration: float = 15.0,
+              seed: int = 1, **topology_kwargs) -> SweepPoint:
+    """Run one measurement point."""
+    topology = make_topology(orderer_kind, policy, peers, **topology_kwargs)
+    workload = make_workload(rate, duration)
+    metrics = run_experiment(topology, workload, seed=seed)
+    return SweepPoint(orderer_kind=orderer_kind, policy=policy, peers=peers,
+                      rate=rate, metrics=metrics)
+
+
+def search_peak(orderer_kind: str, policy: str, peers: int,
+                rates: list[float], duration: float = 15.0,
+                seed: int = 1) -> tuple[float, list[SweepPoint]]:
+    """Sweep ``rates`` and return (peak throughput, all points).
+
+    The paper reports peak throughput per configuration (Table II); the peak
+    is the maximum committed rate over the sweep.
+    """
+    points = [run_point(orderer_kind, policy, rate, peers=peers,
+                        duration=duration, seed=seed) for rate in rates]
+    peak = max(point.throughput for point in points)
+    return peak, points

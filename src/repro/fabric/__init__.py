@@ -1,0 +1,6 @@
+"""Top-level assembly: build and run a complete simulated Fabric network."""
+
+from repro.fabric.network import FabricNetwork
+from repro.fabric.run import run_experiment
+
+__all__ = ["FabricNetwork", "run_experiment"]

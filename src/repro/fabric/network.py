@@ -1,0 +1,222 @@
+"""Build a complete simulated Fabric network from a topology config.
+
+Mirrors the paper's deployment (§IV.A): endorsing peers and ordering service
+nodes on separate machines, one workload client per endorsing peer, TLS
+enabled everywhere, and the peers of the execute phase also carrying the
+validate phase.
+"""
+
+from __future__ import annotations
+
+
+from repro.chaincode import (
+    KVStoreChaincode,
+    MoneyTransferChaincode,
+    NoopChaincode,
+    SmallbankChaincode,
+    resolve_policy_spec,
+)
+from repro.chaincode.policy import EndorsementPolicy
+from repro.client.sdk import ClientNode
+from repro.client.workload import WorkloadGenerator
+from repro.common.config import TopologyConfig, WorkloadConfig
+from repro.common.errors import ConfigurationError
+from repro.msp import MSP, CertificateAuthority, Role
+from repro.orderer import OrderingService, build_ordering_service
+from repro.peer.peer import PeerNode
+from repro.runtime.context import NetworkContext
+from repro.runtime.costs import CostModel
+
+
+class FabricNetwork:
+    """A fully wired Fabric deployment inside one simulation."""
+
+    #: Simulated seconds allowed for consensus leader election before load.
+    STABILIZATION = 2.0
+
+    def __init__(self, topology: TopologyConfig,
+                 workload: WorkloadConfig | None = None,
+                 seed: int = 0, costs: CostModel | None = None,
+                 workload_kind: str = "unique") -> None:
+        topology.validate()
+        self.topology = topology
+        self.workload_config = workload or WorkloadConfig()
+        self.workload_config.validate()
+        self.context = NetworkContext.create(
+            seed=seed, costs=costs,
+            latency=topology.network_latency,
+            bandwidth=topology.network_bandwidth,
+            jitter=topology.network_jitter)
+        if not topology.tls_enabled:
+            self.context.costs.tls_per_message_cpu = 0.0
+
+        self.ca = CertificateAuthority("Org1")
+        self.msp = MSP([self.ca])
+        self.channel_configs = [topology.channel] + list(
+            topology.extra_channels)
+        self.channel_names = [cfg.name for cfg in self.channel_configs]
+        self.channel = topology.channel.name
+
+        self.peers: list[PeerNode] = []
+        self.endorsing_peers: list[PeerNode] = []
+        self.clients: list[ClientNode] = []
+        self.orderer: OrderingService | None = None
+        self.policies: dict[str, EndorsementPolicy] = {}
+        self.policy: EndorsementPolicy | None = None
+        self.workload: WorkloadGenerator | None = None
+        self._workload_kind = workload_kind
+        self._started = False
+
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        self._build_peers()
+        peer_names = [peer.name for peer in self.endorsing_peers]
+        for config in self.channel_configs:
+            self.policies[config.name] = resolve_policy_spec(
+                config.endorsement_policy, peer_names)
+        self.policy = self.policies[self.channel]
+        self._join_peers_to_channels()
+        self._build_orderer()
+        self._wire_deliver_streams()
+        self._build_clients()
+        self._build_workload()
+
+    def _build_peers(self) -> None:
+        topology = self.topology
+        for index in range(topology.num_peers):
+            is_endorsing = index < topology.num_endorsing_peers
+            identity = self.ca.enroll(f"peer{index}", Role.PEER)
+            peer = PeerNode(self.context, identity, self.msp,
+                            is_endorsing=is_endorsing,
+                            gossip_leader=(topology.gossip and index == 0))
+            for chaincode_class in (NoopChaincode, KVStoreChaincode,
+                                    MoneyTransferChaincode,
+                                    SmallbankChaincode):
+                peer.install_chaincode(chaincode_class())
+            self.peers.append(peer)
+            if is_endorsing:
+                self.endorsing_peers.append(peer)
+        if self.topology.gossip:
+            names = [peer.name for peer in self.peers]
+            self.peers[0].gossip.set_neighbours(names)
+
+    def _join_peers_to_channels(self) -> None:
+        for peer in self.peers:
+            for config in self.channel_configs:
+                peer.join_channel(config.name, self.policies[config.name])
+
+    def _build_orderer(self) -> None:
+        config = self.topology.orderer
+        identities = [self.ca.enroll(f"osn{index}", Role.ORDERER)
+                      for index in range(config.num_osns)]
+        service_class = build_ordering_service(config.kind)
+        self.orderer = service_class(self.context, config,
+                                     self.channel_names, identities)
+
+    def _wire_deliver_streams(self) -> None:
+        if self.topology.gossip:
+            self.peers[0].subscribe_to_orderer(
+                self.orderer.osn_for(0).name)
+            return
+        for index, peer in enumerate(self.peers):
+            peer.subscribe_to_orderer(self.orderer.osn_for(index).name)
+
+    def _build_clients(self) -> None:
+        count = (self.workload_config.num_clients
+                 or len(self.endorsing_peers))
+        for index in range(count):
+            identity = self.ca.enroll(f"client{index}", Role.CLIENT)
+            anchor = self.endorsing_peers[index % len(self.endorsing_peers)]
+            osn = self.orderer.osn_for(index)
+            # Clients spread round-robin across channels (one channel each).
+            channel = self.channel_names[index % len(self.channel_names)]
+            client = ClientNode(
+                self.context, identity, channel, self.policies[channel],
+                anchor_peer=anchor.name, orderer=osn.name,
+                ordering_timeout=self.workload_config.ordering_timeout)
+            # Spread the OR round-robin start across clients so target
+            # peers share load evenly in aggregate.
+            client._or_counter = index
+            self.msp.grant_channel_writer(channel, client.name)
+            self.clients.append(client)
+
+    def _build_workload(self) -> None:
+        chaincode = ("noop" if self._workload_kind == "unique"
+                     else "kvstore")
+        self.workload = WorkloadGenerator(
+            self.clients, self.workload_config, chaincode=chaincode,
+            workload=self._workload_kind)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start every node process (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for peer in self.peers:
+            peer.start()
+        self.orderer.start()
+        for client in self.clients:
+            client.start()
+
+    def run_workload(self, drain: float = 5.0):
+        """Start, stabilize, drive the workload, and aggregate metrics.
+
+        Returns the :class:`~repro.metrics.collector.PhaseMetrics` over the
+        measurement window (warmup and cooldown trimmed).
+        """
+        self.start()
+        start_at = self.STABILIZATION
+        self.workload.start(at=start_at)
+        horizon = start_at + self.workload_config.duration + drain
+        self.context.sim.run(until=horizon)
+        window_start = start_at + self.workload_config.warmup
+        window_end = (start_at + self.workload_config.duration
+                      - self.workload_config.cooldown)
+        return self.context.metrics.aggregate(window_start, window_end)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (tests, examples)
+    # ------------------------------------------------------------------
+
+    @property
+    def sim(self):
+        return self.context.sim
+
+    @property
+    def metrics(self):
+        return self.context.metrics
+
+    def peer_named(self, name: str) -> PeerNode:
+        for peer in self.peers:
+            if peer.name == name:
+                return peer
+        raise ConfigurationError(f"no peer named {name!r}")
+
+    def assert_ledgers_consistent(self) -> None:
+        """All peers hold identical, internally consistent chains
+        (checked per channel)."""
+        for channel in self.channel_names:
+            reference = self.peers[0].ledger_for(channel)
+            for peer in self.peers[1:]:
+                ledger = peer.ledger_for(channel)
+                height = min(reference.height, ledger.height)
+                for number in range(height):
+                    left = reference.blocks.get(number)
+                    right = ledger.blocks.get(number)
+                    if left.header_hash() != right.header_hash():
+                        raise AssertionError(
+                            f"fork at {channel}:{number}: "
+                            f"{self.peers[0].name} vs {peer.name}")
+            for peer in self.peers:
+                if not peer.ledger_for(channel).blocks.verify_chain():
+                    raise AssertionError(
+                        f"{peer.name} chain {channel} fails verification")

@@ -1,0 +1,24 @@
+"""One-call experiment execution."""
+
+from __future__ import annotations
+
+from repro.common.config import TopologyConfig, WorkloadConfig
+from repro.fabric.network import FabricNetwork
+from repro.metrics.collector import PhaseMetrics
+from repro.runtime.costs import CostModel
+
+
+def run_experiment(topology: TopologyConfig,
+                   workload: WorkloadConfig,
+                   seed: int = 0,
+                   costs: CostModel | None = None,
+                   workload_kind: str = "unique",
+                   drain: float = 5.0) -> PhaseMetrics:
+    """Build a network, drive the workload, and return windowed metrics.
+
+    This is the primary entry point used by the benchmark harness: one call
+    per (configuration, arrival-rate) point.
+    """
+    network = FabricNetwork(topology, workload, seed=seed, costs=costs,
+                            workload_kind=workload_kind)
+    return network.run_workload(drain=drain)

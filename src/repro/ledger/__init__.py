@@ -1,0 +1,18 @@
+"""The Fabric ledger: block store, world state, and history index.
+
+Both valid and invalid transactions are recorded into the blockchain, while
+only valid transactions update the world state (§II of the paper).
+"""
+
+from repro.ledger.blockchain import BlockStore
+from repro.ledger.history import HistoryDB
+from repro.ledger.ledger import Ledger
+from repro.ledger.statedb import VersionedValue, WorldState
+
+__all__ = [
+    "BlockStore",
+    "HistoryDB",
+    "Ledger",
+    "VersionedValue",
+    "WorldState",
+]

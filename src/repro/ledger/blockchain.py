@@ -1,0 +1,78 @@
+"""The block store: an append-only, hash-chained sequence of blocks."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.common.errors import ValidationError
+from repro.common.types import Block
+
+
+class BlockStore:
+    """Append-only chain; enforces numbering and hash linkage on append."""
+
+    def __init__(self, channel: str) -> None:
+        self.channel = channel
+        self._blocks: list[Block] = [Block.genesis(channel)]
+
+    @property
+    def height(self) -> int:
+        """Number of blocks in the chain (genesis counts)."""
+        return len(self._blocks)
+
+    @property
+    def last_block(self) -> Block:
+        return self._blocks[-1]
+
+    def append(self, block: Block) -> None:
+        """Append ``block``, verifying chain integrity.
+
+        Raises :class:`ValidationError` on a number gap, a broken previous
+        hash, a wrong channel, or a data hash that does not match the block's
+        transactions.
+        """
+        expected_number = self.height
+        if block.number != expected_number:
+            raise ValidationError(
+                f"block number {block.number}, expected {expected_number}")
+        if block.channel != self.channel:
+            raise ValidationError(
+                f"block for channel {block.channel!r} appended to "
+                f"{self.channel!r}")
+        expected_previous = self.last_block.header_hash()
+        if block.previous_hash != expected_previous:
+            raise ValidationError(
+                f"block {block.number} previous_hash mismatch")
+        if block.data_hash != block.compute_data_hash():
+            raise ValidationError(
+                f"block {block.number} data hash does not match its "
+                "transactions")
+        self._blocks.append(block)
+
+    def get(self, number: int) -> Block:
+        """The block at height ``number``; raises KeyError if absent."""
+        if 0 <= number < len(self._blocks):
+            return self._blocks[number]
+        raise KeyError(f"no block {number} (height {self.height})")
+
+    def __iter__(self) -> typing.Iterator[Block]:
+        return iter(self._blocks)
+
+    def verify_chain(self) -> bool:
+        """Full-chain integrity check (used by tests and auditors)."""
+        for previous, current in zip(self._blocks, self._blocks[1:]):
+            if current.previous_hash != previous.header_hash():
+                return False
+            if current.data_hash != current.compute_data_hash():
+                return False
+            if current.number != previous.number + 1:
+                return False
+        return True
+
+    def find_transaction(self, tx_id: str) -> tuple[Block, int] | None:
+        """Locate a transaction by id: (block, index) or None."""
+        for block in self._blocks:
+            for index, tx in enumerate(block.transactions):
+                if tx.tx_id == tx_id:
+                    return block, index
+        return None

@@ -1,0 +1,36 @@
+"""History index: which transactions wrote each key, in commit order."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class HistoryEntry:
+    """One committed write to a key."""
+
+    block_number: int
+    tx_number: int
+    tx_id: str
+    is_delete: bool
+
+
+class HistoryDB:
+    """Per-key write history, equivalent to Fabric's history database."""
+
+    def __init__(self) -> None:
+        self._history: dict[str, list[HistoryEntry]] = {}
+
+    def record(self, key: str, entry: HistoryEntry) -> None:
+        self._history.setdefault(key, []).append(entry)
+
+    def for_key(self, key: str) -> list[HistoryEntry]:
+        """All writes to ``key`` in commit order (empty if never written)."""
+        return list(self._history.get(key, []))
+
+    def last_write(self, key: str) -> HistoryEntry | None:
+        entries = self._history.get(key)
+        return entries[-1] if entries else None
+
+    def __len__(self) -> int:
+        return len(self._history)

@@ -1,0 +1,65 @@
+"""The combined peer ledger: block store + world state + history.
+
+Commitment follows Fabric's rule (§II): both valid and invalid transactions
+are recorded into the blockchain, while only valid transactions update the
+world state.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ValidationError
+from repro.common.types import Block, ValidationCode
+from repro.ledger.blockchain import BlockStore
+from repro.ledger.history import HistoryDB, HistoryEntry
+from repro.ledger.statedb import WorldState
+
+
+class Ledger:
+    """One peer's ledger for one channel."""
+
+    def __init__(self, channel: str) -> None:
+        self.channel = channel
+        self.blocks = BlockStore(channel)
+        self.state = WorldState()
+        self.history = HistoryDB()
+        self._committed_tx_ids: set[str] = set()
+        self.valid_tx_count = 0
+        self.invalid_tx_count = 0
+
+    @property
+    def height(self) -> int:
+        return self.blocks.height
+
+    def has_transaction(self, tx_id: str) -> bool:
+        """True iff a transaction with this id has ever been committed.
+
+        Used by endorsers for check 2 of §II ("the transaction has not been
+        submitted in the past") and by validators to flag DUPLICATE_TXID.
+        """
+        return tx_id in self._committed_tx_ids
+
+    def commit_block(self, block: Block) -> None:
+        """Append ``block`` and apply the write sets of its valid txs.
+
+        The block's metadata must already carry one validation flag per
+        transaction (set by the validator).
+        """
+        flags = block.metadata.validation_flags
+        if len(flags) != len(block.transactions):
+            raise ValidationError(
+                f"block {block.number}: {len(flags)} validation flags for "
+                f"{len(block.transactions)} transactions")
+        self.blocks.append(block)
+        for tx_number, (tx, flag) in enumerate(
+                zip(block.transactions, flags)):
+            self._committed_tx_ids.add(tx.tx_id)
+            if flag is not ValidationCode.VALID:
+                self.invalid_tx_count += 1
+                continue
+            self.valid_tx_count += 1
+            version = (block.number, tx_number)
+            self.state.apply_writes(tx.rwset.writes, version)
+            for write in tx.rwset.writes:
+                self.history.record(write.key, HistoryEntry(
+                    block_number=block.number, tx_number=tx_number,
+                    tx_id=tx.tx_id, is_delete=write.is_delete))

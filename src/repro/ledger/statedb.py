@@ -1,0 +1,72 @@
+"""The world state: a versioned key-value store.
+
+Equivalent to Fabric's LevelDB state database.  Every key carries the version
+(block number, tx number) of the transaction that last wrote it — the basis
+of MVCC validation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.common.types import KVWrite, Version
+
+
+@dataclasses.dataclass(frozen=True)
+class VersionedValue:
+    """A stored value and the height at which it was written."""
+
+    value: bytes
+    version: Version
+
+
+class WorldState:
+    """Versioned key-value store with range scans.
+
+    Deletions remove the key entirely (as LevelDB does); a read of a deleted
+    key observes version ``None``, and MVCC treats "absent" as its own
+    version.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[str, VersionedValue] = {}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def get(self, key: str) -> VersionedValue | None:
+        """The current value and version of ``key``, or None if absent."""
+        return self._data.get(key)
+
+    def get_version(self, key: str) -> Version | None:
+        """The current version of ``key``, or None if absent."""
+        entry = self._data.get(key)
+        return entry.version if entry is not None else None
+
+    def apply_write(self, write: KVWrite, version: Version) -> None:
+        """Apply one committed write at ``version``."""
+        if write.is_delete:
+            self._data.pop(write.key, None)
+        else:
+            self._data[write.key] = VersionedValue(write.value, version)
+
+    def apply_writes(self, writes: typing.Iterable[KVWrite],
+                     version: Version) -> None:
+        """Apply a whole committed write set at ``version``."""
+        for write in writes:
+            self.apply_write(write, version)
+
+    def range_scan(self, start_key: str,
+                   end_key: str) -> list[tuple[str, VersionedValue]]:
+        """All (key, value) with ``start_key <= key < end_key``, sorted."""
+        return sorted(
+            (key, value) for key, value in self._data.items()
+            if start_key <= key < end_key)
+
+    def keys(self) -> list[str]:
+        """All keys currently present, sorted."""
+        return sorted(self._data)

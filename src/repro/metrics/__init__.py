@@ -1,0 +1,30 @@
+"""Measurement: per-transaction lifecycle records and aggregate metrics.
+
+Implements the paper's Definitions 4.1 (throughput), 4.2 (latency), and 4.3
+(block time), plus the per-phase breakdowns of §IV.C (execute, order,
+validate).
+"""
+
+from repro.metrics.collector import MetricsCollector, PhaseMetrics, TxRecord
+from repro.metrics.export import (
+    metrics_to_json,
+    throughput_timeseries,
+    traces_to_csv,
+    traces_to_json,
+    write_traces,
+)
+from repro.metrics.stats import describe, mean, percentile
+
+__all__ = [
+    "MetricsCollector",
+    "PhaseMetrics",
+    "TxRecord",
+    "describe",
+    "mean",
+    "metrics_to_json",
+    "percentile",
+    "throughput_timeseries",
+    "traces_to_csv",
+    "traces_to_json",
+    "write_traces",
+]

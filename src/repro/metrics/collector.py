@@ -1,0 +1,234 @@
+"""Per-transaction lifecycle records and windowed aggregate metrics.
+
+Every transaction leaves a trail of timestamps as it crosses the three
+phases.  The collector aggregates them over a measurement window (trimming
+warmup and cooldown) into the metrics the paper reports:
+
+- Definition 4.1 throughput: commits per second;
+- Definition 4.2 latency: commit timestamp minus submission timestamp,
+  averaged (rejected transactions contribute their rejection latency, which
+  the client caps at the 3-second ordering timeout — §IV.C);
+- Definition 4.3 block time: mean inter-block interval at the orderer;
+- per-phase throughput and latency (Figs. 4-7).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.types import ValidationCode
+from repro.metrics.stats import mean
+from repro.sim.core import Simulation
+
+
+@dataclasses.dataclass
+class TxRecord:
+    """Lifecycle timestamps of one transaction (simulated seconds).
+
+    ``None`` means the transaction never reached that stage.
+    """
+
+    tx_id: str
+    submitted: float | None = None    # client created the proposal
+    endorsed: float | None = None     # all endorsements collected
+    broadcast: float | None = None    # envelope sent to the ordering service
+    ordered: float | None = None      # included in a cut block
+    validated: float | None = None    # validation flags decided (anchor peer)
+    committed: float | None = None    # committed at the client's anchor peer
+    rejected: float | None = None     # client gave up (timeout/failure)
+    reject_reason: str = ""
+    validation_code: ValidationCode | None = None
+
+    @property
+    def execute_latency(self) -> float | None:
+        if self.submitted is None or self.endorsed is None:
+            return None
+        return self.endorsed - self.submitted
+
+    @property
+    def order_latency(self) -> float | None:
+        if self.broadcast is None or self.ordered is None:
+            return None
+        return self.ordered - self.broadcast
+
+    @property
+    def validate_latency(self) -> float | None:
+        if self.ordered is None or self.committed is None:
+            return None
+        return self.committed - self.ordered
+
+    @property
+    def order_validate_latency(self) -> float | None:
+        """The paper's combined "Order & Validate" phase latency."""
+        if self.endorsed is None or self.committed is None:
+            return None
+        return self.committed - self.endorsed
+
+    @property
+    def total_latency(self) -> float | None:
+        """Definition 4.2; rejected transactions report rejection latency."""
+        if self.submitted is None:
+            return None
+        if self.committed is not None:
+            return self.committed - self.submitted
+        if self.rejected is not None:
+            return self.rejected - self.submitted
+        return None
+
+
+@dataclasses.dataclass
+class PhaseMetrics:
+    """Aggregates over a measurement window."""
+
+    window: float
+    submitted_rate: float
+    execute_throughput: float
+    order_throughput: float
+    validate_throughput: float
+    overall_throughput: float          # Definition 4.1 (valid commits/s)
+    execute_latency: float
+    order_latency: float
+    validate_latency: float
+    order_validate_latency: float
+    overall_latency: float             # Definition 4.2
+    block_time: float                  # Definition 4.3
+    rejected_rate: float
+    invalid_rate: float
+
+    def as_dict(self) -> dict[str, float]:
+        return dataclasses.asdict(self)
+
+
+class MetricsCollector:
+    """Accumulates lifecycle events; computes windowed aggregates."""
+
+    def __init__(self, sim: Simulation) -> None:
+        self._sim = sim
+        self._records: dict[str, TxRecord] = {}
+        self._block_cuts: list[tuple[float, int, str]] = []  # (t, size, osn)
+
+    # ------------------------------------------------------------------
+    # Event recording (called by clients, orderers, peers)
+    # ------------------------------------------------------------------
+
+    def record(self, tx_id: str) -> TxRecord:
+        record = self._records.get(tx_id)
+        if record is None:
+            record = TxRecord(tx_id=tx_id)
+            self._records[tx_id] = record
+        return record
+
+    def tx_submitted(self, tx_id: str) -> None:
+        self.record(tx_id).submitted = self._sim.now
+
+    def tx_endorsed(self, tx_id: str) -> None:
+        self.record(tx_id).endorsed = self._sim.now
+
+    def tx_broadcast(self, tx_id: str) -> None:
+        self.record(tx_id).broadcast = self._sim.now
+
+    def tx_ordered(self, tx_id: str) -> None:
+        record = self.record(tx_id)
+        if record.ordered is None:  # all OSNs cut the same block; count once
+            record.ordered = self._sim.now
+
+    def tx_validated(self, tx_id: str, code: ValidationCode) -> None:
+        record = self.record(tx_id)
+        if record.validated is None:
+            record.validated = self._sim.now
+            record.validation_code = code
+
+    def tx_committed(self, tx_id: str) -> None:
+        record = self.record(tx_id)
+        if record.committed is None:
+            record.committed = self._sim.now
+
+    def tx_rejected(self, tx_id: str, reason: str) -> None:
+        record = self.record(tx_id)
+        if record.rejected is None and record.committed is None:
+            record.rejected = self._sim.now
+            record.reject_reason = reason
+
+    def block_cut(self, size: int, orderer: str) -> None:
+        self._block_cuts.append((self._sim.now, size, orderer))
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    @property
+    def records(self) -> dict[str, TxRecord]:
+        return self._records
+
+    @property
+    def block_cuts(self) -> list[tuple[float, int, str]]:
+        return list(self._block_cuts)
+
+    def _in_window(self, timestamp: float | None, start: float,
+                   end: float) -> bool:
+        return timestamp is not None and start <= timestamp < end
+
+    def aggregate(self, start: float, end: float) -> PhaseMetrics:
+        """Metrics over the window ``[start, end)`` of simulated time."""
+        if end <= start:
+            raise ValueError(f"empty window [{start}, {end})")
+        window = end - start
+        records = list(self._records.values())
+
+        submitted = sum(
+            1 for r in records if self._in_window(r.submitted, start, end))
+        endorsed = sum(
+            1 for r in records if self._in_window(r.endorsed, start, end))
+        ordered = sum(
+            1 for r in records if self._in_window(r.ordered, start, end))
+        committed_valid = sum(
+            1 for r in records
+            if self._in_window(r.committed, start, end)
+            and r.validation_code is ValidationCode.VALID)
+        rejected = sum(
+            1 for r in records if self._in_window(r.rejected, start, end))
+        invalid = sum(
+            1 for r in records
+            if self._in_window(r.committed, start, end)
+            and r.validation_code is not None
+            and r.validation_code is not ValidationCode.VALID)
+
+        # Latency over transactions *submitted* in the window (so saturation
+        # queues are attributed to the arrival rate that caused them).
+        in_window = [r for r in records
+                     if self._in_window(r.submitted, start, end)]
+        execute_latencies = [r.execute_latency for r in in_window
+                             if r.execute_latency is not None]
+        order_latencies = [r.order_latency for r in in_window
+                           if r.order_latency is not None]
+        validate_latencies = [r.validate_latency for r in in_window
+                              if r.validate_latency is not None]
+        order_validate = [r.order_validate_latency for r in in_window
+                          if r.order_validate_latency is not None]
+        total_latencies = [r.total_latency for r in in_window
+                           if r.total_latency is not None]
+
+        cut_times = [t for t, _size, osn in self._block_cuts
+                     if start <= t < end]
+        if len(cut_times) >= 2:
+            block_time = ((cut_times[-1] - cut_times[0])
+                          / (len(cut_times) - 1))
+        else:
+            block_time = 0.0
+
+        return PhaseMetrics(
+            window=window,
+            submitted_rate=submitted / window,
+            execute_throughput=endorsed / window,
+            order_throughput=ordered / window,
+            validate_throughput=committed_valid / window,
+            overall_throughput=committed_valid / window,
+            execute_latency=mean(execute_latencies),
+            order_latency=mean(order_latencies),
+            validate_latency=mean(validate_latencies),
+            order_validate_latency=mean(order_validate),
+            overall_latency=mean(total_latencies),
+            block_time=block_time,
+            rejected_rate=rejected / window,
+            invalid_rate=invalid / window,
+        )

@@ -1,0 +1,47 @@
+"""Small statistics helpers used by the metrics collector and reports."""
+
+from __future__ import annotations
+
+import math
+import typing
+
+
+def mean(values: typing.Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence (metrics-friendly)."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def percentile(values: typing.Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100), linear interpolation; 0 if empty."""
+    if not values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile {q} out of range [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def describe(values: typing.Sequence[float]) -> dict[str, float]:
+    """Summary statistics: count, mean, p50, p95, p99, min, max."""
+    if not values:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                "p99": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "count": len(values),
+        "mean": mean(values),
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+        "p99": percentile(values, 99),
+        "min": min(values),
+        "max": max(values),
+    }

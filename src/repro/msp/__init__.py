@@ -1,0 +1,19 @@
+"""Membership Service Provider: the Fabric CA and identity management.
+
+The Fabric CA issues enrolment certificates to ordering service nodes, peers,
+and clients (§II of the paper).  Peers consult their local MSP to check that
+a proposal's submitter is authorized on the channel and that signatures are
+valid — checks 3 and 4 of the endorsement flow.
+"""
+
+from repro.msp.ca import CertificateAuthority, EnrollmentCertificate
+from repro.msp.identity import Identity, Role
+from repro.msp.msp import MSP
+
+__all__ = [
+    "CertificateAuthority",
+    "EnrollmentCertificate",
+    "Identity",
+    "MSP",
+    "Role",
+]

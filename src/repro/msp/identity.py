@@ -1,0 +1,39 @@
+"""Identities and roles within an MSP trust domain."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+from repro.common.crypto import CryptoProvider, Signature
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.msp.ca import EnrollmentCertificate
+
+
+class Role(enum.Enum):
+    """The role a certificate grants within the network."""
+
+    CLIENT = "client"
+    PEER = "peer"
+    ORDERER = "orderer"
+    ADMIN = "admin"
+
+
+@dataclasses.dataclass
+class Identity:
+    """An enrolled network participant able to sign messages."""
+
+    name: str
+    msp_id: str
+    role: Role
+    certificate: "EnrollmentCertificate"
+    _crypto: CryptoProvider
+
+    def sign(self, message: bytes) -> Signature:
+        """Sign ``message`` with this identity's enrolment key."""
+        return self._crypto.sign(self.name, message)
+
+    def __repr__(self) -> str:
+        return f"<Identity {self.name} ({self.role.value}@{self.msp_id})>"

@@ -1,0 +1,253 @@
+"""Shared machinery of all ordering service nodes.
+
+An OSN accepts ``broadcast`` messages carrying endorsed transaction
+envelopes, performs the orderer-side checks (channel match, size limits,
+light CPU cost per envelope — the orderer does *not* validate transactions,
+§IV.C), hands the envelope to the consensus backend, assembles blocks, signs
+them, delivers them to subscribed peers, and acknowledges the submitting
+client once the envelope has been ordered.
+
+Ordering is **per channel** (§II: "the ordering service receives
+transactions from all channels ... orders them chronologically on a
+per-channel basis"): each OSN keeps one block cutter, chain tail, and
+subscriber list per channel it serves.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.common.config import OrdererConfig
+from repro.common.types import Block, TransactionEnvelope
+from repro.msp.identity import Identity
+from repro.orderer.blockcutter import BlockCutter
+from repro.runtime.context import NetworkContext
+from repro.runtime.node import NodeBase
+from repro.sim.network import Message
+
+
+class ChannelChain:
+    """Per-channel ordering state at one OSN."""
+
+    def __init__(self, channel: str, config: OrdererConfig) -> None:
+        self.channel = channel
+        self.cutter = BlockCutter(config)
+        self.next_block_number = 1
+        self.previous_hash = Block.genesis(channel).header_hash()
+        self.subscribers: list[str] = []
+        self.timer_epoch = 0
+        self.blocks_cut = 0
+
+
+def _as_channel_list(channel: str | typing.Sequence[str]) -> list[str]:
+    if isinstance(channel, str):
+        return [channel]
+    return list(channel)
+
+
+class OrderingServiceNode(NodeBase):
+    """Base OSN: broadcast intake, block assembly, deliver service."""
+
+    def __init__(self, context: NetworkContext, name: str,
+                 config: OrdererConfig,
+                 channel: str | typing.Sequence[str], identity: Identity,
+                 metrics_leader: bool = False) -> None:
+        super().__init__(context, name, cores=context.costs.orderer_cores)
+        self.config = config
+        channels = _as_channel_list(channel)
+        if not channels:
+            raise ValueError("an OSN must serve at least one channel")
+        self.identity = identity
+        self.metrics_leader = metrics_leader
+        self.chains: dict[str, ChannelChain] = {
+            name_: ChannelChain(name_, config) for name_ in channels}
+        #: The first (default) channel, for single-channel deployments.
+        self.channel = channels[0]
+        # tx_id -> client node name awaiting a broadcast ack.
+        self._pending_acks: dict[str, str] = {}
+        self.envelopes_received = 0
+        self.on("broadcast", self._handle_broadcast)
+        self.on("deliver_subscribe", self._handle_subscribe)
+
+    # ------------------------------------------------------------------
+    # Channel accessors
+    # ------------------------------------------------------------------
+
+    def chain(self, channel: str) -> ChannelChain:
+        return self.chains[channel]
+
+    @property
+    def channels(self) -> list[str]:
+        return list(self.chains)
+
+    @property
+    def cutter(self) -> BlockCutter:
+        """Default channel's cutter (single-channel convenience)."""
+        return self.chains[self.channel].cutter
+
+    @property
+    def next_block_number(self) -> int:
+        return self.chains[self.channel].next_block_number
+
+    @property
+    def blocks_cut(self) -> int:
+        return sum(chain.blocks_cut for chain in self.chains.values())
+
+    # ------------------------------------------------------------------
+    # Broadcast intake
+    # ------------------------------------------------------------------
+
+    def _handle_broadcast(self, message: Message):
+        envelope: TransactionEnvelope = message.payload
+        yield from self.compute(self.costs.orderer_per_envelope_cpu)
+        if envelope.channel not in self.chains:
+            self.send(message.source, "broadcast_nack",
+                      {"tx_id": envelope.tx_id, "reason": "bad channel"})
+            return
+        self.envelopes_received += 1
+        self._pending_acks[envelope.tx_id] = message.source
+        yield from self._submit(envelope)
+
+    def _submit(self, envelope: TransactionEnvelope
+                ) -> typing.Generator[typing.Any, typing.Any, None]:
+        """Hand an accepted envelope to the consensus backend."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator for subclasses
+
+    def _handle_subscribe(self, message: Message):
+        channels = message.payload.get("channels") or self.channels
+        for channel in channels:
+            chain = self.chains.get(channel)
+            if chain is not None and message.source not in chain.subscribers:
+                chain.subscribers.append(message.source)
+        return
+        yield  # pragma: no cover - handler protocol requires a generator
+
+    # ------------------------------------------------------------------
+    # Ordered-stream consumption (Solo and Kafka paths)
+    # ------------------------------------------------------------------
+
+    def _consume_ordered(self, item: tuple[str, typing.Any]):
+        """Feed one committed stream item into the deterministic cutter.
+
+        Items are ``("tx", envelope)`` or ``("ttc", (channel, number))``.
+        A TTC marker cuts only if it targets the block currently being
+        assembled on that channel; stale markers (another OSN's timer raced
+        a size-triggered cut) are ignored by all OSNs identically.
+        """
+        kind, payload = item
+        if kind == "tx":
+            chain = self.chains[payload.channel]
+            batches = chain.cutter.add(payload)
+            if chain.cutter.pending_count == 1 and not batches:
+                self._arm_timeout(chain)
+            for batch in batches:
+                yield from self._emit_block(chain, batch)
+        elif kind == "ttc":
+            channel, block_number = payload
+            chain = self.chains.get(channel)
+            if (chain is not None
+                    and block_number == chain.next_block_number
+                    and chain.cutter.has_pending):
+                yield from self._emit_block(chain, chain.cutter.cut())
+        else:
+            raise ValueError(f"unknown ordered item kind {kind!r}")
+
+    def _arm_timeout(self, chain: ChannelChain) -> None:
+        """Start the BatchTimeout timer for the batch forming now."""
+        chain.timer_epoch += 1
+        self.sim.process(self._timeout_timer(
+            chain, chain.timer_epoch, chain.next_block_number))
+
+    def _timeout_timer(self, chain: ChannelChain, epoch: int,
+                       block_number: int):
+        yield self.sim.timeout(self.config.batch_timeout)
+        if self.crashed or epoch != chain.timer_epoch:
+            return
+        if (chain.cutter.has_pending
+                and block_number == chain.next_block_number):
+            yield from self._submit_ttc(chain.channel, block_number)
+
+    def _submit_ttc(self, channel: str, block_number: int
+                    ) -> typing.Generator[typing.Any, typing.Any, None]:
+        """Route a time-to-cut marker through consensus (backend-specific)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Block assembly and delivery
+    # ------------------------------------------------------------------
+
+    def _emit_block(self, chain: ChannelChain,
+                    batch: list[TransactionEnvelope]):
+        """Assemble, sign, and deliver a block from ``batch``."""
+        if not batch:
+            return
+        chain.timer_epoch += 1  # disarm any running batch timer
+        block = Block(number=chain.next_block_number,
+                      previous_hash=chain.previous_hash,
+                      transactions=tuple(batch), channel=chain.channel)
+        chain.next_block_number += 1
+        chain.previous_hash = block.header_hash()
+        yield from self.compute(self.costs.block_sign_cpu)
+        block.metadata.orderer = self.name
+        block.metadata.signature = self.identity.sign(block.header_bytes())
+        block.metadata.cut_at = self.sim.now
+        chain.blocks_cut += 1
+        self._record_cut(block)
+        self._deliver_block(chain, block)
+        self._ack_block(block)
+
+    def _record_cut(self, block: Block) -> None:
+        if not self.metrics_leader:
+            return
+        self.context.metrics.block_cut(len(block), self.name)
+        for envelope in block.transactions:
+            self.context.metrics.tx_ordered(envelope.tx_id)
+
+    def _deliver_block(self, chain: ChannelChain, block: Block) -> None:
+        for subscriber in chain.subscribers:
+            self.send(subscriber, "block", block, size=block.wire_size())
+
+    def _ack_block(self, block: Block) -> None:
+        """Acknowledge every submitter whose envelope is now ordered."""
+        for envelope in block.transactions:
+            client = self._pending_acks.pop(envelope.tx_id, None)
+            if client is not None:
+                self.send(client, "broadcast_ack",
+                          {"tx_id": envelope.tx_id})
+
+
+class OrderingService:
+    """Facade over the OSN set; assigns clients and peers to OSNs."""
+
+    kind = ""
+
+    def __init__(self, context: NetworkContext, config: OrdererConfig,
+                 channel: str | typing.Sequence[str],
+                 identities: list[Identity]) -> None:
+        config.validate()
+        self.context = context
+        self.config = config
+        self.channels = _as_channel_list(channel)
+        if not self.channels:
+            raise ValueError(
+                "an ordering service must serve at least one channel")
+        self.channel = self.channels[0]
+        self.nodes: list[OrderingServiceNode] = []
+        self._build(identities)
+
+    def _build(self, identities: list[Identity]) -> None:
+        raise NotImplementedError
+
+    def start(self) -> None:
+        for node in self.nodes:
+            node.start()
+
+    @property
+    def node_names(self) -> list[str]:
+        return [node.name for node in self.nodes]
+
+    def osn_for(self, index: int) -> OrderingServiceNode:
+        """Round-robin OSN assignment for clients and peers."""
+        return self.nodes[index % len(self.nodes)]

@@ -1,0 +1,50 @@
+"""Block cutting under the BatchSize / BatchTimeout rules (§III).
+
+The cutter is deterministic: fed the same sequence of envelopes and
+time-to-cut markers, every ordering service node cuts byte-identical blocks.
+The timeout itself is driven by the owning OSN (it is a timer, which is not
+part of the ordered stream); what is deterministic is the *reaction* to the
+TTC marker once it has been ordered.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import OrdererConfig
+from repro.common.types import TransactionEnvelope
+
+
+class BlockCutter:
+    """Accumulates envelopes into batches.
+
+    ``add`` returns zero or one finished batches (a batch completes when it
+    reaches BatchSize).  ``cut`` force-completes the pending batch (timeout
+    path).  The owner tracks which block number the pending batch would
+    become, so stale TTC markers can be ignored.
+    """
+
+    def __init__(self, config: OrdererConfig) -> None:
+        self.batch_size = config.batch_size
+        self.batch_timeout = config.batch_timeout
+        self._pending: list[TransactionEnvelope] = []
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._pending)
+
+    def add(self, envelope: TransactionEnvelope
+            ) -> list[list[TransactionEnvelope]]:
+        """Append one envelope; returns the completed batch, if any."""
+        self._pending.append(envelope)
+        if len(self._pending) >= self.batch_size:
+            return [self.cut()]
+        return []
+
+    def cut(self) -> list[TransactionEnvelope]:
+        """Force-complete the pending batch (may be empty)."""
+        batch = self._pending
+        self._pending = []
+        return batch

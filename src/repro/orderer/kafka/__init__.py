@@ -1,0 +1,13 @@
+"""The Kafka ordering service: brokers, ZooKeeper, and OSN front-ends."""
+
+from repro.orderer.kafka.broker import BrokerNode
+from repro.orderer.kafka.service import KafkaOrderingService, KafkaOSN
+from repro.orderer.kafka.zookeeper import ZooKeeperEnsemble, ZooKeeperNode
+
+__all__ = [
+    "BrokerNode",
+    "KafkaOSN",
+    "KafkaOrderingService",
+    "ZooKeeperEnsemble",
+    "ZooKeeperNode",
+]

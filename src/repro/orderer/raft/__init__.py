@@ -1,0 +1,14 @@
+"""The Raft ordering service: consensus nodes embedded in the OSNs."""
+
+from repro.orderer.raft.log import LogEntry, RaftLog
+from repro.orderer.raft.node import RaftNode, RaftState
+from repro.orderer.raft.service import RaftOrderingService, RaftOSN
+
+__all__ = [
+    "LogEntry",
+    "RaftLog",
+    "RaftNode",
+    "RaftOSN",
+    "RaftOrderingService",
+    "RaftState",
+]

@@ -1,0 +1,99 @@
+"""The replicated Raft log.
+
+Indices are 1-based as in the Raft paper; index 0 is the empty-log sentinel
+with term 0.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class LogEntry:
+    """One replicated entry: the term it was created in, and a payload."""
+
+    term: int
+    payload: typing.Any
+
+
+class RaftLog:
+    """Append-only log with conflict truncation, per the Raft paper."""
+
+    def __init__(self) -> None:
+        self._entries: list[LogEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def last_index(self) -> int:
+        return len(self._entries)
+
+    @property
+    def last_term(self) -> int:
+        return self._entries[-1].term if self._entries else 0
+
+    def term_at(self, index: int) -> int:
+        """Term of the entry at 1-based ``index`` (0 -> sentinel term 0)."""
+        if index == 0:
+            return 0
+        if not 1 <= index <= len(self._entries):
+            raise IndexError(f"no log entry at index {index}")
+        return self._entries[index - 1].term
+
+    def entry_at(self, index: int) -> LogEntry:
+        if not 1 <= index <= len(self._entries):
+            raise IndexError(f"no log entry at index {index}")
+        return self._entries[index - 1]
+
+    def append(self, entry: LogEntry) -> int:
+        """Append one entry; returns its index."""
+        self._entries.append(entry)
+        return len(self._entries)
+
+    def matches(self, prev_index: int, prev_term: int) -> bool:
+        """AppendEntries consistency check."""
+        if prev_index == 0:
+            return True
+        if prev_index > len(self._entries):
+            return False
+        return self.term_at(prev_index) == prev_term
+
+    def merge(self, prev_index: int, entries: list[LogEntry]) -> None:
+        """Install ``entries`` after ``prev_index``, truncating conflicts.
+
+        Entries already present with the same term are left untouched (they
+        may already be committed); the first conflicting entry and everything
+        after it are discarded, per Raft §5.3.
+        """
+        for offset, entry in enumerate(entries):
+            index = prev_index + offset + 1
+            if index <= len(self._entries):
+                if self.term_at(index) != entry.term:
+                    del self._entries[index - 1:]
+                    self._entries.append(entry)
+            else:
+                self._entries.append(entry)
+
+    def slice_from(self, start_index: int,
+                   limit: int | None = None) -> list[LogEntry]:
+        """Entries from 1-based ``start_index`` onward (up to ``limit``)."""
+        if start_index < 1:
+            raise IndexError(f"bad start index {start_index}")
+        chunk = self._entries[start_index - 1:]
+        if limit is not None:
+            chunk = chunk[:limit]
+        return list(chunk)
+
+    def is_up_to_date(self, other_last_index: int,
+                      other_last_term: int) -> bool:
+        """True iff (other_last_term, other_last_index) >= our last entry.
+
+        The Raft voting rule: a candidate's log must be at least as
+        up-to-date as the voter's.
+        """
+        if other_last_term != self.last_term:
+            return other_last_term > self.last_term
+        return other_last_index >= self.last_index

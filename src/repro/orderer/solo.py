@@ -1,0 +1,40 @@
+"""The Solo ordering service: a single node ordering locally (§III).
+
+Solo has no consensus round-trip: an accepted envelope goes straight into
+the block cutter (after a log fsync), and TTC markers are consumed locally.
+Single point of failure, development use — exactly the paper's description.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import TransactionEnvelope
+from repro.msp.identity import Identity
+from repro.orderer.base import OrderingService, OrderingServiceNode
+
+
+class SoloOSN(OrderingServiceNode):
+    """The single Solo ordering node."""
+
+    def _submit(self, envelope: TransactionEnvelope):
+        yield from self.compute(self.costs.consensus_fsync_io)
+        yield from self._consume_ordered(("tx", envelope))
+
+    def _submit_ttc(self, channel: str, block_number: int):
+        yield from self._consume_ordered(("ttc", (channel, block_number)))
+
+
+class SoloOrderingService(OrderingService):
+    """Facade for the single-node Solo service."""
+
+    kind = "solo"
+
+    def _build(self, identities: list[Identity]) -> None:
+        if self.config.num_osns != 1:
+            raise ConfigurationError("solo runs exactly one OSN")
+        if len(identities) != 1:
+            raise ConfigurationError(
+                f"solo needs exactly one identity, got {len(identities)}")
+        self.nodes = [SoloOSN(self.context, identities[0].name, self.config,
+                              self.channels, identities[0],
+                              metrics_leader=True)]

@@ -1,0 +1,21 @@
+"""Peer nodes: endorsement (execute phase) and validation/commit
+(validate phase).
+
+Every peer of the channel validates and commits every block; a subset of
+peers additionally endorse transaction proposals (§II of the paper).  The
+machines of the execute phase therefore also carry the validate phase's
+load — the paper's explanation for the validate-phase bottleneck.
+"""
+
+from repro.peer.endorser import Endorser
+from repro.peer.gossip import GossipService
+from repro.peer.peer import PeerNode
+from repro.peer.validator import BlockValidator, check_mvcc
+
+__all__ = [
+    "BlockValidator",
+    "Endorser",
+    "GossipService",
+    "PeerNode",
+    "check_mvcc",
+]

@@ -1,0 +1,38 @@
+"""Block dissemination between peers.
+
+In Fabric, one leader peer per organisation pulls blocks from the ordering
+service and gossips them to the other peers.  The simulation supports both
+modes: direct deliver (every peer subscribes to an OSN — the paper's setup,
+where block propagation cost is carried by the orderer links) and gossip
+(only the leader peer subscribes and forwards).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.common.types import Block
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.peer.peer import PeerNode
+
+
+class GossipService:
+    """Forwards received blocks to peer neighbours (leader-peer mode)."""
+
+    def __init__(self, peer: "PeerNode", is_leader: bool = False) -> None:
+        self._peer = peer
+        self.is_leader = is_leader
+        self.neighbours: list[str] = []
+        self.blocks_forwarded = 0
+
+    def set_neighbours(self, names: list[str]) -> None:
+        self.neighbours = [name for name in names if name != self._peer.name]
+
+    def on_block(self, block: Block, from_orderer: bool) -> None:
+        """Forward a block to neighbours if we lead and it came fresh."""
+        if self.is_leader and from_orderer:
+            for neighbour in self.neighbours:
+                self._peer.send(neighbour, "gossip_block", block,
+                                size=block.wire_size())
+            self.blocks_forwarded += len(self.neighbours)

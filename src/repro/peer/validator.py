@@ -1,0 +1,158 @@
+"""The validate phase: VSCC endorsement-policy checks, MVCC, and commit.
+
+This is the paper's bottleneck, and the pipeline mirrors Fabric 1.4:
+
+1. verify the orderer's signature on the block;
+2. VSCC per transaction — verify every endorsement signature and evaluate
+   the endorsement policy.  Transactions within a block are checked by a
+   bounded pool of validator workers in parallel; the CPU cost grows with
+   the number of endorsements, which is why AND policies validate slower
+   than OR;
+3. MVCC — a *serial* scan deciding read-conflict validity in block order
+   (serial because each decision depends on the writes of earlier valid
+   transactions);
+4. commit — append the block, apply valid write sets (disk I/O), and emit
+   commit events.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.chaincode.policy import EndorsementPolicy
+from repro.chaincode.system import VSCC
+from repro.common.types import Block, TransactionEnvelope, ValidationCode
+from repro.ledger.ledger import Ledger
+from repro.sim.resources import Resource
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.peer.peer import PeerNode
+
+
+def check_mvcc(ledger: Ledger, block: Block,
+               flags: list[ValidationCode]) -> list[ValidationCode]:
+    """Serial MVCC validation of ``block`` against ``ledger``'s state.
+
+    ``flags`` carries the VSCC verdicts; only VSCC-valid transactions are
+    checked.  A transaction is invalidated if any key it read has a version
+    different from the current state version, or was written by an earlier
+    valid transaction in the same block, or if its tx id duplicates a
+    committed transaction (§II: MVCC prevents double-spending and replays).
+    Returns the final per-transaction flags.
+    """
+    final_flags: list[ValidationCode] = []
+    updated_in_block: set[str] = set()
+    seen_tx_ids: set[str] = set()
+    for envelope, flag in zip(block.transactions, flags):
+        if flag is not ValidationCode.VALID:
+            final_flags.append(flag)
+            continue
+        verdict = _mvcc_verdict(ledger, envelope, updated_in_block,
+                                seen_tx_ids)
+        final_flags.append(verdict)
+        seen_tx_ids.add(envelope.tx_id)
+        if verdict is ValidationCode.VALID:
+            updated_in_block.update(envelope.rwset.write_keys)
+    return final_flags
+
+
+def _mvcc_verdict(ledger: Ledger, envelope: TransactionEnvelope,
+                  updated_in_block: set[str],
+                  seen_tx_ids: set[str]) -> ValidationCode:
+    if (envelope.tx_id in seen_tx_ids
+            or ledger.has_transaction(envelope.tx_id)):
+        return ValidationCode.DUPLICATE_TXID
+    for read in envelope.rwset.reads:
+        if read.key in updated_in_block:
+            return ValidationCode.MVCC_READ_CONFLICT
+        if ledger.state.get_version(read.key) != read.version:
+            return ValidationCode.MVCC_READ_CONFLICT
+    return ValidationCode.VALID
+
+
+class BlockValidator:
+    """Per-(peer, channel) validation pipeline with in-order commit."""
+
+    def __init__(self, peer: "PeerNode", policy: EndorsementPolicy,
+                 ledger: Ledger) -> None:
+        self._peer = peer
+        self.policy = policy
+        self.ledger = ledger
+        self._vscc = VSCC(peer.msp)
+        self._workers = Resource(peer.sim,
+                                 capacity=peer.costs.validator_workers)
+        # Blocks must commit in order; out-of-order arrivals wait here.
+        self._pending: dict[int, Block] = {}
+        self._committing = False
+        self.blocks_validated = 0
+        self.txs_valid = 0
+        self.txs_invalid = 0
+
+    @property
+    def backlog(self) -> int:
+        return len(self._pending)
+
+    def submit_block(self, block: Block) -> None:
+        """Accept a block from the deliver/gossip path (idempotent)."""
+        if block.number < self.ledger.height:
+            return  # duplicate of an already-committed block
+        if block.number in self._pending:
+            return
+        self._pending[block.number] = block
+        if not self._committing:
+            self._peer.sim.process(self._drain())
+
+    def _drain(self):
+        self._committing = True
+        try:
+            while self.ledger.height in self._pending:
+                block = self._pending.pop(self.ledger.height)
+                yield from self._validate_and_commit(block)
+        finally:
+            self._committing = False
+
+    def _validate_and_commit(self, block: Block):
+        peer = self._peer
+        # 1. Orderer signature on the block header.
+        yield from peer.cpu.use(peer.costs.block_verify_cpu)
+        signature = block.metadata.signature
+        if signature is None or not peer.msp.verify_signature(
+                signature, block.header_bytes(), peer.identity.msp_id):
+            return  # forged block: drop it entirely
+        # 2. VSCC in parallel across the worker pool.
+        flags: list[ValidationCode | None] = [None] * len(block.transactions)
+        jobs = [peer.sim.process(self._vscc_one(envelope, flags, index))
+                for index, envelope in enumerate(block.transactions)]
+        if jobs:
+            yield peer.sim.all_of(jobs)
+        vscc_flags = typing.cast("list[ValidationCode]", flags)
+        # 3. Serial MVCC in block order.
+        if block.transactions:
+            yield from peer.cpu.use(
+                peer.costs.mvcc_per_tx_cpu * len(block.transactions))
+        final_flags = check_mvcc(self.ledger, block, vscc_flags)
+        block.metadata.validation_flags = final_flags
+        # 4. Commit: ledger append + state updates (disk).
+        commit_io = (peer.costs.commit_per_block_io
+                     + peer.costs.commit_per_tx_io * len(block.transactions))
+        yield from peer.disk.use(commit_io)
+        self.ledger.commit_block(block)
+        self.blocks_validated += 1
+        for envelope, flag in zip(block.transactions, final_flags):
+            if flag is ValidationCode.VALID:
+                self.txs_valid += 1
+            else:
+                self.txs_invalid += 1
+            peer.notify_commit(envelope.tx_id, flag)
+
+    def _vscc_one(self, envelope: TransactionEnvelope,
+                  flags: list[ValidationCode | None], index: int):
+        peer = self._peer
+        request = self._workers.request()
+        yield request
+        try:
+            cost = peer.costs.vscc_tx_cpu(len(envelope.endorsements))
+            yield from peer.cpu.use(cost)
+            flags[index] = self._vscc.validate(envelope, self.policy)
+        finally:
+            self._workers.release(request)

@@ -1,0 +1,16 @@
+"""Runtime substrate shared by peers, orderers, and clients.
+
+- :class:`~repro.runtime.costs.CostModel`: the calibrated per-operation CPU,
+  I/O, and pipeline-latency constants that stand in for the paper's testbed
+  hardware (see DESIGN.md §2 for the derivation from Table II/III).
+- :class:`~repro.runtime.node.NodeBase`: a simulated machine — a named
+  network endpoint with a multi-core CPU and a message-dispatch loop.
+- :class:`~repro.runtime.context.NetworkContext`: the bundle (simulation,
+  network, RNG, cost model, metrics) every node is constructed from.
+"""
+
+from repro.runtime.context import NetworkContext
+from repro.runtime.costs import CostModel
+from repro.runtime.node import NodeBase
+
+__all__ = ["CostModel", "NetworkContext", "NodeBase"]

@@ -1,0 +1,108 @@
+"""A simulated machine: network endpoint, multi-core CPU, dispatch loop.
+
+Peers, ordering service nodes, Kafka brokers, ZooKeeper nodes, and clients
+all extend :class:`NodeBase`.  A node registers message handlers by type;
+the receive loop dispatches each incoming message to its handler as a new
+process, so handlers that block (on CPU, timers, or further messages) do not
+stall message intake — mirroring gRPC servers, which accept concurrently.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.common.errors import ConfigurationError
+from repro.runtime.context import NetworkContext
+from repro.sim.events import Event
+from repro.sim.network import Message, NodeDownError
+from repro.sim.resources import Resource
+
+Handler = typing.Callable[[Message], typing.Generator[Event, typing.Any, None]]
+
+
+class NodeBase:
+    """A named node with a CPU and a typed message-dispatch loop."""
+
+    def __init__(self, context: NetworkContext, name: str,
+                 cores: int = 4) -> None:
+        if not name:
+            raise ConfigurationError("node name must be non-empty")
+        self.context = context
+        self.sim = context.sim
+        self.network = context.network
+        self.costs = context.costs
+        self.name = name
+        self.cpu = Resource(self.sim, capacity=cores)
+        self.network.add_node(name)
+        self._handlers: dict[str, Handler] = {}
+        self._receive_process = None
+        self.crashed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the receive loop.  Subclasses extend to start timers."""
+        if self._receive_process is None:
+            self._receive_process = self.sim.process(self._receive_loop())
+
+    def crash(self) -> None:
+        """Fail-stop this node: drop traffic and ignore future messages."""
+        self.crashed = True
+        self.network.crash_node(self.name)
+
+    def recover(self) -> None:
+        """Bring the node back (volatile state retained unless overridden)."""
+        self.crashed = False
+        self.network.restore_node(self.name)
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+
+    def on(self, msg_type: str, handler: Handler) -> None:
+        """Register ``handler`` for messages of ``msg_type``."""
+        if msg_type in self._handlers:
+            raise ConfigurationError(
+                f"{self.name}: handler for {msg_type!r} already registered")
+        self._handlers[msg_type] = handler
+
+    def send(self, destination: str, msg_type: str, payload: typing.Any,
+             size: int = 256) -> None:
+        """Fire-and-forget send; silently dropped if this node is down."""
+        try:
+            self.network.send(Message(source=self.name,
+                                      destination=destination,
+                                      msg_type=msg_type, payload=payload,
+                                      size=size))
+        except NodeDownError:
+            pass
+
+    def _receive_loop(self):
+        while True:
+            message = yield self.network.receive(self.name)
+            if self.crashed:
+                continue
+            handler = self._handlers.get(message.msg_type)
+            if handler is None:
+                raise ConfigurationError(
+                    f"{self.name}: no handler for {message.msg_type!r} "
+                    f"(from {message.source})")
+            self.sim.process(self._dispatch(handler, message))
+
+    def _dispatch(self, handler: Handler, message: Message):
+        if self.costs.tls_per_message_cpu > 0:
+            yield from self.cpu.use(self.costs.tls_per_message_cpu)
+        yield from handler(message)
+
+    # ------------------------------------------------------------------
+    # CPU helpers
+    # ------------------------------------------------------------------
+
+    def compute(self, cpu_seconds: float):
+        """Sub-generator: occupy one core for ``cpu_seconds``."""
+        yield from self.cpu.use(cpu_seconds)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"

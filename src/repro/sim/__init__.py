@@ -1,0 +1,44 @@
+"""Discrete-event simulation kernel.
+
+This package is the substrate on which the simulated Hyperledger Fabric
+cluster runs.  It provides a small, deterministic, generator-based
+discrete-event simulator in the style of SimPy, written from scratch:
+
+- :class:`~repro.sim.core.Simulation`: the event loop and simulated clock.
+- :class:`~repro.sim.core.Process`: a coroutine (generator) driven by the
+  loop; yields events and is resumed when they fire.
+- :class:`~repro.sim.events.Event`, :class:`~repro.sim.events.Timeout`,
+  :class:`~repro.sim.events.AnyOf` / :class:`~repro.sim.events.AllOf`.
+- :class:`~repro.sim.resources.Resource`: FIFO server pool (CPU cores,
+  endorsement slots, validator workers).
+- :class:`~repro.sim.resources.Store`: unbounded FIFO message queue.
+- :class:`~repro.sim.network.Network`: point-to-point links with latency and
+  bandwidth serialization, used for all inter-node traffic.
+- :class:`~repro.sim.rng.RngRegistry`: named, independently seeded random
+  streams so experiments are reproducible and streams are decoupled.
+
+Everything is deterministic given a seed: the event heap breaks ties by
+insertion order, and all randomness flows through named RNG streams.
+"""
+
+from repro.sim.core import Process, Simulation
+from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
+from repro.sim.network import Link, Message, Network
+from repro.sim.resources import Resource, Store
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Link",
+    "Message",
+    "Network",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "Simulation",
+    "Store",
+    "Timeout",
+]

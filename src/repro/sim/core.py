@@ -1,0 +1,249 @@
+"""The simulation loop and generator-based processes.
+
+The kernel is a classic discrete-event loop: a heap of ``(time, seq, event)``
+entries, popped in order; popping an event runs its callbacks, which resume
+waiting processes.  Processes are plain Python generators that yield
+:class:`~repro.sim.events.Event` objects.
+
+Determinism: ties on time are broken by a monotonically increasing sequence
+number, so two runs with the same seed produce identical schedules.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
+
+ProcessGenerator = typing.Generator[Event, typing.Any, typing.Any]
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Simulation.run` early."""
+
+
+class Simulation:
+    """The discrete-event loop and simulated clock.
+
+    Typical use::
+
+        sim = Simulation()
+
+        def worker(sim):
+            yield sim.timeout(1.0)
+            return "done"
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert sim.now == 1.0
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq: int = 0
+        self._active_process: Process | None = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> "Process | None":
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Event factories
+    # ------------------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: typing.Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator) -> "Process":
+        """Start ``generator`` as a process; returns its completion event."""
+        return Process(self, generator)
+
+    def any_of(self, events: typing.Sequence[Event]) -> AnyOf:
+        """Event firing when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: typing.Sequence[Event]) -> AllOf:
+        """Event firing when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling and the main loop
+    # ------------------------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float = 0.0) -> None:
+        """Schedule ``event``'s callbacks to run ``delay`` seconds from now."""
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Pop and process a single event."""
+        when, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event.defused:
+            # Nobody waited on this failed event: surface the error rather
+            # than letting it pass silently.
+            raise event._value
+
+    def run(self, until: float | Event | None = None) -> typing.Any:
+        """Run until the heap drains, ``until`` seconds pass, or an event fires.
+
+        ``until`` may be a simulated-time horizon (float), an event (run until
+        it fires and return its value), or ``None`` (drain all events).
+        """
+        stop_event: Event | None = None
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event.value
+            stop_event.callbacks.append(self._stop_callback)
+        elif until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(
+                    f"until={horizon} is in the past (now={self._now})")
+        try:
+            while self._heap:
+                if stop_event is None and until is not None:
+                    if self.peek() > float(until):
+                        self._now = float(until)
+                        return None
+                self.step()
+        except StopSimulation as stop:
+            return stop.args[0]
+        if stop_event is not None and not stop_event.triggered:
+            raise RuntimeError(
+                "simulation ran out of events before `until` event fired")
+        if stop_event is None and until is not None:
+            # The heap drained before reaching the horizon; advance the clock
+            # so repeated bounded runs observe monotonic time.
+            self._now = max(self._now, float(until))
+        return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        if event.ok:
+            raise StopSimulation(event.value)
+        event.defused = True
+        raise event.value
+
+
+class Process(Event):
+    """A running generator, resumable by the events it yields.
+
+    A ``Process`` is itself an event: it fires when the generator returns
+    (success, with the return value) or raises (failure).  Other processes
+    may therefore ``yield`` a process to join it.
+    """
+
+    def __init__(self, sim: Simulation, generator: ProcessGenerator) -> None:
+        super().__init__(sim)
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        self._generator = generator
+        self._target: Event | None = None
+        # Kick off the generator at the current time via an initial event.
+        init = Event(sim)
+        init.succeed()
+        init.callbacks.append(self._resume)
+        self._target = init
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    @property
+    def name(self) -> str:
+        """The generator's function name, for diagnostics."""
+        return getattr(self._generator, "__name__", repr(self._generator))
+
+    def interrupt(self, cause: typing.Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The interrupt is delivered asynchronously (via a failed event) so the
+        interrupter continues running first.
+        """
+        if not self.is_alive:
+            return
+        event = Event(self.sim)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.defused = True
+        event.callbacks = [self._resume_interrupt]
+        self.sim._enqueue(event)
+
+    def _resume_interrupt(self, event: Event) -> None:
+        if not self.is_alive:
+            return
+        # Detach from whatever the process was waiting on; the stale callback
+        # must be removed so the old target cannot resume us twice.
+        if self._target is not None and not self._target.processed:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self._step(event)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        self._step(event)
+
+    def _step(self, event: Event) -> None:
+        self.sim._active_process = self
+        try:
+            if event._ok:
+                next_target = self._generator.send(event._value)
+            else:
+                event.defused = True
+                next_target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as error:
+            self.sim._active_process = None
+            if isinstance(error, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(error)
+            return
+        self.sim._active_process = None
+        if not isinstance(next_target, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {next_target!r}, "
+                "which is not an Event")
+        if next_target.processed:
+            # Already fired: resume immediately-ish (at current time).
+            resume = Event(self.sim)
+            resume._ok = next_target._ok
+            resume._value = next_target._value
+            if not next_target._ok:
+                next_target.defused = True
+                resume.defused = True
+            resume.callbacks = [self._resume]
+            self.sim._enqueue(resume)
+            self._target = resume
+        else:
+            next_target.callbacks.append(self._resume)
+            self._target = next_target

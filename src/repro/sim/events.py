@@ -1,0 +1,196 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot occurrence with a value.  Processes yield
+events to the simulation loop and are resumed when the event fires.  Events
+may succeed (carrying a value) or fail (carrying an exception, which is
+re-raised inside the waiting process).
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.core import Simulation
+
+# Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Events move through three states: *pending* (created, not yet fired),
+    *triggered* (scheduled to fire at the current simulation time), and
+    *processed* (callbacks have run).  Waiting processes register callbacks;
+    the simulation loop invokes them when the event is popped from the heap.
+    """
+
+    def __init__(self, sim: "Simulation") -> None:
+        self.sim = sim
+        self.callbacks: list[typing.Callable[["Event"], None]] | None = []
+        self._value: typing.Any = _PENDING
+        self._ok: bool = True
+        # Set True once a failure's traceback has been consumed by a waiter,
+        # so unhandled failures can be surfaced at the end of a run.
+        self.defused: bool = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (success or failure)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been invoked."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        if not self.triggered:
+            raise RuntimeError("event is not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> typing.Any:
+        """The event's value (or exception if it failed)."""
+        if self._value is _PENDING:
+            raise RuntimeError("event is not yet triggered")
+        return self._value
+
+    def succeed(self, value: typing.Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue(self)
+        return self
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, sim: "Simulation", delay: float,
+                 value: typing.Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._enqueue(self, delay=delay)
+
+    @property
+    def triggered(self) -> bool:
+        # A timeout is born triggered: its value is fixed at creation.
+        return True
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    @property
+    def cause(self) -> typing.Any:
+        """The cause passed to :meth:`repro.sim.core.Process.interrupt`."""
+        return self.args[0]
+
+
+class ConditionValue:
+    """Mapping of events to values for fired :class:`AnyOf` / :class:`AllOf`.
+
+    Supports ``event in result`` and ``result[event]`` so callers can ask
+    which of the awaited events fired first and with what value.
+    """
+
+    def __init__(self, events: list[Event]) -> None:
+        self.events = events
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __getitem__(self, event: Event) -> typing.Any:
+        if event not in self.events:
+            raise KeyError(event)
+        return event.value
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {len(self.events)} events>"
+
+
+class _Condition(Event):
+    """Base for composite events over a fixed list of sub-events."""
+
+    def __init__(self, sim: "Simulation", events: typing.Sequence[Event]) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        self._fired: list[Event] = []
+        for event in self._events:
+            if event.sim is not sim:
+                raise ValueError("events belong to different simulations")
+        # Register on sub-events after validating all of them.  An event
+        # counts as fired only once *processed* (its callbacks have run):
+        # a pending Timeout already carries its value but has not fired yet.
+        for event in self._events:
+            if event.processed:
+                self._on_sub_event(event)
+            else:
+                event.callbacks.append(self._on_sub_event)
+        self._check(initial=True)
+
+    def _on_sub_event(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defused = True
+            self.fail(event.value)
+            return
+        self._fired.append(event)
+        self._check(initial=False)
+
+    def _check(self, initial: bool) -> None:
+        raise NotImplementedError
+
+    def _finish(self) -> None:
+        if not self.triggered:
+            self.succeed(ConditionValue(list(self._fired)))
+
+
+class AnyOf(_Condition):
+    """Fires when the first of the given events fires.
+
+    With an empty event list it fires immediately (vacuous truth mirrors
+    SimPy's behaviour and keeps fan-in loops simple).
+    """
+
+    def _check(self, initial: bool) -> None:
+        if self._fired or not self._events:
+            self._finish()
+
+
+class AllOf(_Condition):
+    """Fires when all of the given events have fired."""
+
+    def _check(self, initial: bool) -> None:
+        if len(self._fired) == len(self._events):
+            self._finish()

@@ -1,0 +1,199 @@
+"""Simulated LAN: point-to-point links with latency and bandwidth.
+
+The paper's testbed is a 20-machine cluster on 1 Gbps Ethernet.  We model it
+as a full mesh of point-to-point links.  Each link has:
+
+- a propagation latency (with jitter, drawn per message), and
+- a bandwidth; a message of ``size`` bytes occupies the sender's link for
+  ``size / bandwidth`` seconds (serialization delay), FIFO per link.
+
+Serialization happens at the sender's NIC: all of a node's outgoing
+messages share its single network interface, so fanning a block out to ten
+peers costs ten transmission times — exactly the constraint that makes
+block propagation bandwidth-sensitive on a real cluster.  (Ingress
+serialization is not modelled; egress fan-out dominates in this topology.)
+
+Messages are delivered into per-node mailboxes (a :class:`Store` per node).
+A node's receive loop is simply ``msg = yield network.receive(node)``.
+
+Links can be taken down and brought back up to model crash faults: messages
+sent while a link (or the destination node) is down are dropped, which is how
+Raft/Kafka failure-injection tests partition nodes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing
+
+from repro.sim.events import Event
+from repro.sim.resources import Resource, Store
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.core import Simulation
+    from repro.sim.rng import RngRegistry
+
+_message_counter = itertools.count()
+
+
+@dataclasses.dataclass
+class Message:
+    """A network message between two named nodes."""
+
+    source: str
+    destination: str
+    msg_type: str
+    payload: typing.Any
+    size: int = 256
+    sent_at: float = 0.0
+    delivered_at: float = 0.0
+    msg_id: int = dataclasses.field(
+        default_factory=lambda: next(_message_counter))
+
+    def __repr__(self) -> str:
+        return (f"<Message #{self.msg_id} {self.msg_type} "
+                f"{self.source}->{self.destination} {self.size}B>")
+
+
+class Link:
+    """A unidirectional link: propagation latency, bandwidth, statistics.
+
+    Serialization is charged at the sending node's NIC (see
+    :class:`Network`), not per link pair.
+    """
+
+    def __init__(self, sim: "Simulation", latency: float,
+                 bandwidth: float) -> None:
+        if latency < 0:
+            raise ValueError(f"negative latency {latency}")
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        self.sim = sim
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.up = True
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        self.messages_dropped = 0
+
+    def transmission_delay(self, size: int) -> float:
+        """Seconds the wire is occupied by ``size`` bytes."""
+        return size / self.bandwidth
+
+
+class NodeDownError(Exception):
+    """Raised when sending from a node that has been crashed."""
+
+
+class Network:
+    """A full mesh of :class:`Link` objects plus per-node mailboxes."""
+
+    def __init__(self, sim: "Simulation", rng: "RngRegistry",
+                 default_latency: float = 0.00025,
+                 default_bandwidth: float = 125_000_000.0,
+                 latency_jitter: float = 0.2) -> None:
+        self.sim = sim
+        self.rng = rng
+        self.default_latency = default_latency
+        self.default_bandwidth = default_bandwidth
+        self.latency_jitter = latency_jitter
+        self._mailboxes: dict[str, Store] = {}
+        self._links: dict[tuple[str, str], Link] = {}
+        self._nics: dict[str, Resource] = {}
+        self._down_nodes: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def add_node(self, name: str) -> None:
+        """Register a node; idempotent."""
+        if name not in self._mailboxes:
+            self._mailboxes[name] = Store(self.sim)
+            self._nics[name] = Resource(self.sim, capacity=1)
+
+    @property
+    def nodes(self) -> list[str]:
+        return list(self._mailboxes)
+
+    def link(self, source: str, destination: str) -> Link:
+        """The link from ``source`` to ``destination`` (created lazily)."""
+        key = (source, destination)
+        link = self._links.get(key)
+        if link is None:
+            link = Link(self.sim, self.default_latency, self.default_bandwidth)
+            self._links[key] = link
+        return link
+
+    def set_link(self, source: str, destination: str, latency: float,
+                 bandwidth: float) -> None:
+        """Override the latency/bandwidth of one directed link."""
+        self._links[(source, destination)] = Link(
+            self.sim, latency, bandwidth)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+
+    def crash_node(self, name: str) -> None:
+        """Drop all future traffic to and from ``name``."""
+        self._down_nodes.add(name)
+
+    def restore_node(self, name: str) -> None:
+        """Resume delivery to and from ``name``."""
+        self._down_nodes.discard(name)
+
+    def is_up(self, name: str) -> bool:
+        return name not in self._down_nodes
+
+    # ------------------------------------------------------------------
+    # Send / receive
+    # ------------------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Transmit ``message``; delivery is asynchronous (fire and forget).
+
+        Raises :class:`KeyError` for unknown nodes so wiring bugs fail fast.
+        Raises :class:`NodeDownError` if the sender has been crashed (a dead
+        process should not be able to speak).
+        """
+        if message.destination not in self._mailboxes:
+            raise KeyError(f"unknown destination node {message.destination!r}")
+        if message.source not in self._mailboxes:
+            raise KeyError(f"unknown source node {message.source!r}")
+        if message.source in self._down_nodes:
+            raise NodeDownError(f"node {message.source!r} is down")
+        message.sent_at = self.sim.now
+        self.sim.process(self._transmit(message))
+
+    def _transmit(self, message: Message) -> typing.Generator[Event, None, None]:
+        link = self.link(message.source, message.destination)
+        # Serialization at the sender's (single, shared) NIC.
+        request = self._nics[message.source].request()
+        yield request
+        try:
+            yield self.sim.timeout(link.transmission_delay(message.size))
+        finally:
+            self._nics[message.source].release(request)
+        link.bytes_sent += message.size
+        link.messages_sent += 1
+        latency = self.rng.jittered(
+            f"net.latency.{message.source}", link.latency,
+            self.latency_jitter)
+        yield self.sim.timeout(latency)
+        if (not link.up
+                or message.source in self._down_nodes
+                or message.destination in self._down_nodes):
+            link.messages_dropped += 1
+            return
+        message.delivered_at = self.sim.now
+        self._mailboxes[message.destination].put(message)
+
+    def receive(self, name: str) -> Event:
+        """Event firing with the next message addressed to ``name``."""
+        return self._mailboxes[name].get()
+
+    def mailbox(self, name: str) -> Store:
+        """Direct access to a node's mailbox (for inspection in tests)."""
+        return self._mailboxes[name]

@@ -1,0 +1,149 @@
+"""FIFO resources and stores for the simulation kernel.
+
+- :class:`Resource` models a pool of identical servers (CPU cores,
+  endorsement slots, validator workers).  Requests queue FIFO.
+- :class:`Store` is an unbounded FIFO queue of items; getters block until an
+  item is available.  It is the building block for mailboxes and channels.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.core import Simulation
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource` slot."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.sim)
+        self.resource = resource
+
+
+class Resource:
+    """A pool of ``capacity`` identical servers with a FIFO wait queue.
+
+    Usage from a process::
+
+        request = resource.request()
+        yield request
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            resource.release(request)
+
+    or, more conveniently, ``yield from resource.use(service_time)``.
+    """
+
+    def __init__(self, sim: "Simulation", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._users: set[Request] = set()
+        self._queue: collections.deque[Request] = collections.deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event fires when the slot is granted."""
+        request = Request(self)
+        if len(self._users) < self.capacity:
+            self._users.add(request)
+            request.succeed()
+        else:
+            self._queue.append(request)
+        return request
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot and wake the next waiter."""
+        if request in self._users:
+            self._users.remove(request)
+            self._grant_next()
+        else:
+            # Cancelling a queued request is legal (e.g. on timeout races).
+            try:
+                self._queue.remove(request)
+            except ValueError:
+                raise RuntimeError(
+                    "release() of a request that holds no slot and is "
+                    "not queued") from None
+
+    def use(self, duration: float) -> typing.Generator[Event, typing.Any, None]:
+        """Hold one slot for ``duration`` simulated seconds.
+
+        A sub-generator for ``yield from``: acquires, holds, releases, and is
+        exception-safe (the slot is released even if the caller is
+        interrupted while holding it).
+        """
+        request = self.request()
+        yield request
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release(request)
+
+    def _grant_next(self) -> None:
+        if self._queue and len(self._users) < self.capacity:
+            request = self._queue.popleft()
+            self._users.add(request)
+            request.succeed()
+
+
+class Store:
+    """An unbounded FIFO queue of items with blocking ``get``.
+
+    ``put`` never blocks.  ``get`` returns an event that fires with the next
+    item (immediately if one is buffered).  Items are delivered to getters in
+    FIFO order of both items and getters.
+    """
+
+    def __init__(self, sim: "Simulation") -> None:
+        self.sim = sim
+        self._items: collections.deque[typing.Any] = collections.deque()
+        self._getters: collections.deque[Event] = collections.deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def waiting_getters(self) -> int:
+        """Number of processes blocked on :meth:`get`."""
+        return len(self._getters)
+
+    def put(self, item: typing.Any) -> None:
+        """Deposit ``item``, waking the oldest waiting getter if any."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """Event firing with the next item (possibly already buffered)."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def drain(self) -> list[typing.Any]:
+        """Remove and return all buffered items without blocking."""
+        items = list(self._items)
+        self._items.clear()
+        return items

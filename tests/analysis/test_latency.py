@@ -1,0 +1,86 @@
+"""Tests for the analytical latency model, cross-validated against the
+simulator."""
+
+import pytest
+
+from repro.analysis import LatencyModel
+from repro.runtime.costs import CostModel
+
+
+def make_model():
+    return LatencyModel(CostModel())
+
+
+def test_expected_block_size_regimes():
+    model = make_model()
+    # Low rate: timeout-cut blocks hold rate * timeout transactions.
+    assert model.expected_block_size(20) == pytest.approx(20)
+    # High rate: size-cut blocks hold BatchSize transactions.
+    assert model.expected_block_size(500) == 100
+    assert model.expected_block_size(0.1) >= 1.0
+
+
+def test_block_formation_wait_regimes():
+    model = make_model()
+    # Timeout-bound: mean wait is half the BatchTimeout.
+    assert model.block_formation_wait(20) == pytest.approx(0.5)
+    # Size-bound at 400 tps: blocks cut every 0.25 s, mean wait 0.125 s.
+    assert model.block_formation_wait(400) == pytest.approx(0.125)
+
+
+def test_execute_latency_floor_matches_paper_band():
+    # Paper Table III: execute latency ~0.25-0.32 s under OR, measured just
+    # below the per-client 50 tps peak.
+    model = make_model()
+    latency = model.execute_latency(rate=42, num_clients=1, endorsements=1)
+    assert 0.2 <= latency <= 0.45
+
+
+def test_execute_latency_grows_with_endorsements():
+    model = make_model()
+    or_latency = model.execute_latency(100, 10, endorsements=1)
+    and_latency = model.execute_latency(100, 10, endorsements=5)
+    # Paper Table III: AND execute latency exceeds OR.
+    assert and_latency > or_latency + 0.1
+
+
+def test_execute_latency_diverges_at_client_saturation():
+    import math
+
+    model = make_model()
+    assert math.isinf(model.execute_latency(60, 1, 1))  # 60 > ~50 capacity
+
+
+def test_validate_latency_grows_with_endorsements_and_rate():
+    model = make_model()
+    assert (model.validate_latency(300, endorsements=5)
+            > model.validate_latency(300, endorsements=1))
+    assert (model.validate_latency(300, endorsements=1)
+            > model.validate_latency(30, endorsements=1))
+
+
+def test_order_validate_band_matches_paper():
+    # Paper Table III order&validate: ~0.4-0.8 s across configurations.
+    model = make_model()
+    for rate in (40, 150, 280):
+        breakdown = model.breakdown(rate, num_clients=10, endorsements=1)
+        assert 0.3 <= breakdown.order_validate <= 1.1, rate
+
+
+def test_model_matches_simulation_below_saturation():
+    from repro.experiments.runner import run_point
+
+    model = make_model()
+    point = run_point("solo", "OR10", 150, peers=10, duration=15)
+    predicted = model.breakdown(150, num_clients=10, endorsements=1)
+    measured_execute = point.metrics.execute_latency
+    measured_ov = point.metrics.order_validate_latency
+    assert predicted.execute == pytest.approx(measured_execute, rel=0.35)
+    assert predicted.order_validate == pytest.approx(measured_ov, rel=0.35)
+
+
+def test_breakdown_total_is_sum():
+    model = make_model()
+    breakdown = model.breakdown(100, 10, 1)
+    assert breakdown.total == pytest.approx(
+        breakdown.execute + breakdown.order + breakdown.validate)

@@ -1,0 +1,54 @@
+"""Tests for the queueing formulas."""
+
+import math
+
+import pytest
+
+from repro.analysis import mm1_wait, mmc_erlang_c, mmc_wait
+
+
+def test_mm1_wait_known_value():
+    # rho = 0.5: W_q = rho / (mu - lambda) = 0.5 / 5 = 0.1
+    assert mm1_wait(5, 10) == pytest.approx(0.1)
+
+
+def test_mm1_wait_saturation_is_infinite():
+    assert mm1_wait(10, 10) == math.inf
+    assert mm1_wait(11, 10) == math.inf
+
+
+def test_mm1_requires_positive_service_rate():
+    with pytest.raises(ValueError):
+        mm1_wait(1, 0)
+
+
+def test_erlang_c_single_server_equals_rho():
+    # For c=1, the Erlang-C waiting probability equals rho.
+    assert mmc_erlang_c(3, 10, 1) == pytest.approx(0.3)
+
+
+def test_erlang_c_bounds():
+    p = mmc_erlang_c(15, 10, 2)
+    assert 0 < p < 1
+    assert mmc_erlang_c(20, 10, 2) == 1.0
+
+
+def test_erlang_c_validation():
+    with pytest.raises(ValueError):
+        mmc_erlang_c(1, 1, 0)
+    with pytest.raises(ValueError):
+        mmc_erlang_c(1, 0, 1)
+
+
+def test_mmc_wait_decreases_with_servers():
+    single = mmc_wait(8, 10, 1)
+    double = mmc_wait(8, 10, 2)
+    assert double < single
+
+
+def test_mmc_wait_saturation():
+    assert mmc_wait(20, 10, 2) == math.inf
+
+
+def test_mmc_reduces_to_mm1():
+    assert mmc_wait(5, 10, 1) == pytest.approx(mm1_wait(5, 10))

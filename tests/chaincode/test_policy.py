@@ -1,0 +1,188 @@
+"""Tests for the endorsement-policy language."""
+
+import pytest
+
+from repro.chaincode.policy import (
+    And,
+    Or,
+    OutOf,
+    Principal,
+    parse_policy,
+    resolve_policy_spec,
+)
+from repro.common.errors import ConfigurationError
+
+PEERS = [f"peer{i}" for i in range(10)]
+
+
+def first_chooser(n):
+    return 0
+
+
+def test_principal_evaluation():
+    policy = Principal("p0")
+    assert policy.evaluate({"p0"})
+    assert not policy.evaluate({"p1"})
+    assert policy.min_required() == 1
+
+
+def test_and_requires_all():
+    policy = And([Principal("a"), Principal("b")])
+    assert policy.evaluate({"a", "b"})
+    assert not policy.evaluate({"a"})
+    assert policy.min_required() == 2
+    assert policy.max_required() == 2
+
+
+def test_or_requires_any():
+    policy = Or([Principal("a"), Principal("b")])
+    assert policy.evaluate({"a"})
+    assert policy.evaluate({"b"})
+    assert not policy.evaluate({"c"})
+    assert policy.min_required() == 1
+
+
+def test_outof_threshold():
+    policy = OutOf(2, [Principal("a"), Principal("b"), Principal("c")])
+    assert policy.evaluate({"a", "c"})
+    assert not policy.evaluate({"a"})
+    assert policy.min_required() == 2
+
+
+def test_outof_bounds_validation():
+    with pytest.raises(ConfigurationError):
+        OutOf(0, [Principal("a")])
+    with pytest.raises(ConfigurationError):
+        OutOf(3, [Principal("a"), Principal("b")])
+
+
+def test_nested_policy_evaluation():
+    policy = And([Principal("a"), Or([Principal("b"), Principal("c")])])
+    assert policy.evaluate({"a", "b"})
+    assert policy.evaluate({"a", "c"})
+    assert not policy.evaluate({"b", "c"})
+
+
+def test_or_select_targets_load_balances():
+    policy = Or([Principal(name) for name in ["a", "b", "c"]])
+    counter = {"next": 0}
+
+    def round_robin(n):
+        index = counter["next"] % n
+        counter["next"] += 1
+        return index
+
+    picks = [policy.select_targets(round_robin) for _ in range(6)]
+    assert picks == [{"a"}, {"b"}, {"c"}, {"a"}, {"b"}, {"c"}]
+
+
+def test_and_select_targets_takes_all():
+    policy = And([Principal("a"), Principal("b"), Principal("c")])
+    assert policy.select_targets(first_chooser) == {"a", "b", "c"}
+
+
+def test_outof_select_targets_takes_k_rotating():
+    policy = OutOf(2, [Principal("a"), Principal("b"), Principal("c")])
+    assert policy.select_targets(first_chooser) == {"a", "b"}
+    assert policy.select_targets(lambda n: 2) == {"c", "a"}
+
+
+def test_selected_targets_always_satisfy_policy():
+    policy = And([Or([Principal("a"), Principal("b")]),
+                  OutOf(2, [Principal("c"), Principal("d"), Principal("e")])])
+    for choice in range(3):
+        targets = policy.select_targets(lambda n, c=choice: c % n)
+        assert policy.evaluate(targets)
+
+
+def test_parse_simple_and():
+    policy = parse_policy("AND('p0','p1')")
+    assert isinstance(policy, And)
+    assert policy.principals() == {"p0", "p1"}
+
+
+def test_parse_nested():
+    policy = parse_policy("OR(AND('a','b'),OutOf(1,'c','d'))")
+    assert policy.evaluate({"a", "b"})
+    assert policy.evaluate({"c"})
+    assert not policy.evaluate({"a"})
+
+
+def test_parse_whitespace_and_case_insensitive_keywords():
+    policy = parse_policy("  and ( 'a' , or('b','c') ) ")
+    assert policy.evaluate({"a", "b"})
+
+
+def test_parse_double_quotes():
+    policy = parse_policy('OR("x","y")')
+    assert policy.principals() == {"x", "y"}
+
+
+def test_parse_roundtrip_via_to_spec():
+    spec = "AND('a',OR('b','c'),OutOf(2,'d','e','f'))"
+    policy = parse_policy(spec)
+    assert parse_policy(policy.to_spec()) == policy
+
+
+def test_parse_errors():
+    for bad in ["", "AND()", "AND('a'", "OutOf(x,'a')", "'a' 'b'",
+                "XOR('a','b')", "AND('a'))"]:
+        with pytest.raises(ConfigurationError):
+            parse_policy(bad)
+
+
+def test_resolve_or_shorthand():
+    policy = resolve_policy_spec("OR10", PEERS)
+    assert isinstance(policy, Or)
+    assert policy.principals() == set(PEERS)
+
+
+def test_resolve_or3_takes_first_three():
+    policy = resolve_policy_spec("OR3", PEERS)
+    assert policy.principals() == {"peer0", "peer1", "peer2"}
+
+
+def test_resolve_and5():
+    policy = resolve_policy_spec("AND5", PEERS)
+    assert isinstance(policy, And)
+    assert policy.min_required() == 5
+
+
+def test_resolve_shorthand_degrades_to_deployed_peers():
+    # The paper's Table II reports AND5 with 1 and 3 deployed peers; we read
+    # that as AND over the deployed peers.
+    policy = resolve_policy_spec("AND5", PEERS[:3])
+    assert policy.principals() == {"peer0", "peer1", "peer2"}
+    assert policy.min_required() == 3
+
+
+def test_resolve_all_peer_sugar():
+    assert resolve_policy_spec("OR(1..n)", PEERS).principals() == set(PEERS)
+    assert isinstance(resolve_policy_spec("AND(1..n)", PEERS), And)
+
+
+def test_resolve_outof_shorthand():
+    policy = resolve_policy_spec("OutOf(3,5)", PEERS)
+    assert isinstance(policy, OutOf)
+    assert policy.k == 3
+    assert len(policy.principals()) == 5
+
+
+def test_resolve_full_expression_passthrough():
+    policy = resolve_policy_spec("AND('peer0','peer9')", PEERS)
+    assert policy.principals() == {"peer0", "peer9"}
+
+
+def test_resolve_requires_peers():
+    with pytest.raises(ConfigurationError):
+        resolve_policy_spec("OR10", [])
+
+
+def test_max_required_drives_vscc_cost_ordering():
+    # AND5 must carry more endorsements than OR10 — the paper's reason the
+    # validate phase is slower under AND.
+    or_policy = resolve_policy_spec("OR10", PEERS)
+    and_policy = resolve_policy_spec("AND5", PEERS)
+    assert and_policy.max_required() > or_policy.min_required()
+    assert and_policy.min_required() == 5
+    assert or_policy.min_required() == 1

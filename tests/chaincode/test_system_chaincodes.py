@@ -1,0 +1,106 @@
+"""Direct unit tests for ESCC and VSCC."""
+
+from repro.chaincode.policy import And, Or, Principal
+from repro.chaincode.system import ESCC, VSCC
+from repro.common.types import (
+    Endorsement,
+    KVRead,
+    KVWrite,
+    ProposalResponse,
+    TransactionEnvelope,
+    TxReadWriteSet,
+    ValidationCode,
+)
+from repro.msp import MSP, CertificateAuthority, Role
+
+
+def setup():
+    ca = CertificateAuthority("Org1")
+    msp = MSP([ca])
+    peers = {name: ca.enroll(name, Role.PEER) for name in ["p0", "p1"]}
+    return ca, msp, peers
+
+
+def make_response(tx_id="t1"):
+    rwset = TxReadWriteSet(reads=(KVRead("k", None),),
+                           writes=(KVWrite("k", b"v"),))
+    return ProposalResponse(tx_id=tx_id, endorser="p0", status=200,
+                            payload=b"ok", rwset=rwset, endorsement=None)
+
+
+def make_envelope(endorsements, response):
+    return TransactionEnvelope(
+        tx_id=response.tx_id, channel="ch", chaincode="cc", creator="c",
+        rwset=response.rwset, endorsements=tuple(endorsements),
+        response_bytes=response.response_bytes())
+
+
+def test_escc_signature_binds_response_bytes():
+    ca, msp, peers = setup()
+    response = make_response()
+    endorsement = ESCC(peers["p0"]).endorse(response)
+    assert endorsement.endorser == "p0"
+    assert msp.verify_signature(endorsement.signature,
+                                response.response_bytes(), "Org1")
+    assert not msp.verify_signature(endorsement.signature, b"other",
+                                    "Org1")
+
+
+def test_vscc_valid_single_endorsement_or_policy():
+    ca, msp, peers = setup()
+    response = make_response()
+    endorsement = ESCC(peers["p0"]).endorse(response)
+    envelope = make_envelope([endorsement], response)
+    vscc = VSCC(msp)
+    policy = Or([Principal("p0"), Principal("p1")])
+    assert vscc.validate(envelope, policy) is ValidationCode.VALID
+
+
+def test_vscc_empty_endorsements_policy_failure():
+    ca, msp, peers = setup()
+    response = make_response()
+    envelope = make_envelope([], response)
+    assert VSCC(msp).validate(envelope, Principal("p0")) is (
+        ValidationCode.ENDORSEMENT_POLICY_FAILURE)
+
+
+def test_vscc_unsatisfied_and_policy():
+    ca, msp, peers = setup()
+    response = make_response()
+    endorsement = ESCC(peers["p0"]).endorse(response)
+    envelope = make_envelope([endorsement], response)
+    policy = And([Principal("p0"), Principal("p1")])
+    assert VSCC(msp).validate(envelope, policy) is (
+        ValidationCode.ENDORSEMENT_POLICY_FAILURE)
+
+
+def test_vscc_signer_endorser_mismatch_is_bad_signature():
+    ca, msp, peers = setup()
+    response = make_response()
+    endorsement = ESCC(peers["p0"]).endorse(response)
+    forged = Endorsement(endorser="p1", msp_id="Org1",
+                         signature=endorsement.signature)
+    envelope = make_envelope([forged], response)
+    assert VSCC(msp).validate(envelope, Principal("p1")) is (
+        ValidationCode.BAD_SIGNATURE)
+
+
+def test_vscc_revoked_endorser_is_bad_signature():
+    ca, msp, peers = setup()
+    response = make_response()
+    endorsement = ESCC(peers["p0"]).endorse(response)
+    envelope = make_envelope([endorsement], response)
+    ca.revoke("p0")
+    assert VSCC(msp).validate(envelope, Principal("p0")) is (
+        ValidationCode.BAD_SIGNATURE)
+
+
+def test_vscc_unknown_msp_domain_is_bad_signature():
+    ca, msp, peers = setup()
+    response = make_response()
+    endorsement = ESCC(peers["p0"]).endorse(response)
+    alien = Endorsement(endorser="p0", msp_id="OrgX",
+                        signature=endorsement.signature)
+    envelope = make_envelope([alien], response)
+    assert VSCC(msp).validate(envelope, Principal("p0")) is (
+        ValidationCode.BAD_SIGNATURE)

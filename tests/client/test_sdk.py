@@ -1,0 +1,165 @@
+"""Tests for the client SDK end-to-end flow (against a tiny real network)."""
+
+import pytest
+
+from repro.common.config import (
+    ChannelConfig,
+    OrdererConfig,
+    TopologyConfig,
+    WorkloadConfig,
+)
+from repro.fabric.network import FabricNetwork
+
+
+def tiny_network(policy="OR(1..n)", kind="solo", peers=2, seed=11,
+                 batch_size=2, **workload_kwargs):
+    topology = TopologyConfig(
+        num_endorsing_peers=peers,
+        channel=ChannelConfig(endorsement_policy=policy),
+        orderer=OrdererConfig(kind=kind,
+                              num_osns=1 if kind == "solo" else 3,
+                              batch_size=batch_size))
+    defaults = dict(arrival_rate=10, duration=10)
+    defaults.update(workload_kwargs)
+    workload = WorkloadConfig(**defaults)
+    network = FabricNetwork(topology, workload, seed=seed)
+    network.start()
+    return network
+
+
+def invoke_sync(network, client, chaincode, function, args, until=20.0):
+    process = client.invoke(chaincode, function, args)
+    network.sim.run(until=until)
+    assert process.triggered, "transaction flow did not finish"
+    return process.value
+
+
+def test_invoke_commits_a_transaction():
+    network = tiny_network()
+    client = network.clients[0]
+    tx_id, outcome = invoke_sync(network, client, "noop", "write",
+                                 ["k1", "v1"])
+    assert outcome == "committed"
+    assert client.committed == 1
+    # The write reached every peer's world state.
+    for peer in network.peers:
+        assert peer.ledger.state.get("k1").value == b"v1"
+
+
+def test_invoke_records_full_lifecycle_metrics():
+    network = tiny_network()
+    client = network.clients[0]
+    tx_id, outcome = invoke_sync(network, client, "noop", "write",
+                                 ["k1", "v1"])
+    record = network.metrics.records[tx_id]
+    assert record.submitted is not None
+    assert record.endorsed is not None
+    assert record.broadcast is not None
+    assert record.ordered is not None
+    assert record.committed is not None
+    assert (record.submitted < record.endorsed < record.ordered
+            <= record.committed)
+    assert record.total_latency > 0
+
+
+def test_or_policy_round_robins_endorsers():
+    network = tiny_network(policy="OR(1..n)", peers=2, batch_size=1)
+    client = network.clients[0]
+    invoke_sync(network, client, "noop", "write", ["a", "1"])
+    invoke_sync(network, client, "noop", "write", ["b", "2"], until=40.0)
+    counts = [peer.endorser.proposals_endorsed
+              for peer in network.endorsing_peers]
+    assert counts == [1, 1]
+
+
+def test_and_policy_collects_all_endorsements():
+    network = tiny_network(policy="AND(1..n)", peers=3, batch_size=1)
+    client = network.clients[0]
+    tx_id, outcome = invoke_sync(network, client, "noop", "write",
+                                 ["k", "v"])
+    assert outcome == "committed"
+    counts = [peer.endorser.proposals_endorsed
+              for peer in network.endorsing_peers]
+    assert counts == [1, 1, 1]
+    record = network.metrics.records[tx_id]
+    block = network.peers[0].ledger.blocks.find_transaction(tx_id)[0]
+    tx = block.transactions[0]
+    assert len(tx.endorsements) == 3
+
+
+def test_endorsement_failure_rejects_without_broadcast():
+    network = tiny_network()
+    client = network.clients[0]
+    tx_id, outcome = invoke_sync(network, client, "money", "transfer",
+                                 ["nobody", "noone", "5"])
+    assert outcome.startswith("endorsement failed")
+    record = network.metrics.records[tx_id]
+    assert record.rejected is not None
+    assert record.broadcast is None
+    assert client.rejected == 1
+
+
+def test_mvcc_conflict_reported_as_invalid():
+    network = tiny_network(batch_size=2)
+    client_a, = network.clients[:1]
+    client_b = network.clients[1]
+    # Two concurrent read-modify-writes of the same fresh key: both endorse
+    # against version None, land in one block, the second is invalidated.
+    process_a = client_a.invoke("kvstore", "update", ["hot", "a"])
+    process_b = client_b.invoke("kvstore", "update", ["hot", "b"])
+    network.sim.run(until=20.0)
+    outcomes = sorted([process_a.value[1], process_b.value[1]])
+    assert outcomes == ["committed", "invalid"]
+    # Both transactions are on-chain; one applied.
+    peer = network.peers[0]
+    assert peer.ledger.valid_tx_count == 1
+    assert peer.ledger.invalid_tx_count == 1
+
+
+def test_ordering_timeout_rejects_transaction():
+    network = tiny_network()
+    client = network.clients[0]
+    # Crash the ordering node so the envelope is never ordered.
+    network.orderer.nodes[0].crash()
+    tx_id, outcome = invoke_sync(network, client, "noop", "write",
+                                 ["k", "v"], until=30.0)
+    assert outcome == "ordering timeout"
+    record = network.metrics.records[tx_id]
+    assert record.rejected is not None
+    assert record.committed is None
+    # Rejection happened at the 3-second ordering deadline.
+    assert record.rejected - record.broadcast == pytest.approx(3.0, abs=0.1)
+
+
+def test_endorsement_timeout_when_all_peers_down():
+    network = tiny_network()
+    client = network.clients[0]
+    for peer in network.peers:
+        peer.crash()
+    tx_id, outcome = invoke_sync(network, client, "noop", "write",
+                                 ["k", "v"], until=30.0)
+    assert outcome == "endorsement timeout"
+
+
+def test_client_capacity_is_about_fifty_tps():
+    # Saturate one client: the flow's CPU stages bound it near 50 tps.
+    network = tiny_network(peers=1, batch_size=100,
+                           arrival_rate=100, duration=10)
+    client = network.clients[0]
+    network.workload = None
+    for sequence in range(200):
+        client.invoke("noop", "write", [f"k{sequence}", "v"])
+    network.sim.run(until=4.0)
+    endorsed = sum(1 for record in network.metrics.records.values()
+                   if record.endorsed is not None)
+    rate = endorsed / 4.0
+    assert 35 <= rate <= 60
+
+
+def test_nonces_are_unique_per_client():
+    network = tiny_network()
+    client = network.clients[0]
+    first, _ = invoke_sync(network, client, "noop", "write", ["a", "1"])
+    second, _ = invoke_sync(network, client, "noop", "write", ["b", "2"],
+                            until=40.0)
+    assert first != second

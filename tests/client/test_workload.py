@@ -1,0 +1,100 @@
+"""Tests for the open-loop workload generator."""
+
+import pytest
+
+from repro.common.config import (
+    ChannelConfig,
+    OrdererConfig,
+    TopologyConfig,
+    WorkloadConfig,
+)
+from repro.common.errors import ConfigurationError
+from repro.client.workload import WorkloadGenerator
+from repro.fabric.network import FabricNetwork
+
+
+def build(rate=40, duration=6, peers=2, kind="unique", process="uniform",
+          skew=0.0, key_space=50, seed=13):
+    topology = TopologyConfig(
+        num_endorsing_peers=peers,
+        channel=ChannelConfig(endorsement_policy="OR(1..n)"),
+        orderer=OrdererConfig(kind="solo"))
+    workload = WorkloadConfig(arrival_rate=rate, duration=duration,
+                              warmup=1, cooldown=1,
+                              arrival_process=process,
+                              read_write_conflict_skew=skew,
+                              key_space=key_space)
+    return FabricNetwork(topology, workload, seed=seed, workload_kind=kind)
+
+
+def test_open_loop_rate_is_respected():
+    network = build(rate=40, duration=6)
+    network.start()
+    network.workload.start(at=1.0)
+    network.sim.run(until=7.2)
+    assert network.workload.transactions_started == pytest.approx(240,
+                                                                  abs=12)
+
+
+def test_load_split_across_clients():
+    network = build(rate=40, duration=6, peers=2)
+    network.start()
+    network.workload.start(at=1.0)
+    network.sim.run(until=8.0)
+    per_client = [client.submitted for client in network.clients]
+    assert len(per_client) == 2
+    assert per_client[0] == pytest.approx(per_client[1], abs=3)
+
+
+def test_unique_workload_has_no_conflicts():
+    network = build(rate=40, duration=6, kind="unique")
+    metrics = network.run_workload()
+    assert metrics.invalid_rate == 0
+    assert metrics.overall_throughput > 0
+
+
+def test_conflict_workload_produces_mvcc_invalidations():
+    network = build(rate=60, duration=6, kind="conflict", key_space=5)
+    metrics = network.run_workload()
+    assert metrics.invalid_rate > 0
+
+
+def test_zipf_skew_increases_conflicts():
+    uniform = build(rate=60, duration=6, kind="conflict",
+                    key_space=200, skew=0.0)
+    skewed = build(rate=60, duration=6, kind="conflict",
+                   key_space=200, skew=2.5)
+    uniform_metrics = uniform.run_workload()
+    skewed_metrics = skewed.run_workload()
+    assert skewed_metrics.invalid_rate > uniform_metrics.invalid_rate
+
+
+def test_poisson_arrivals_run():
+    network = build(rate=40, duration=6, process="poisson")
+    metrics = network.run_workload()
+    assert metrics.overall_throughput > 20
+
+
+def test_workload_requires_clients():
+    with pytest.raises(ConfigurationError):
+        WorkloadGenerator([], WorkloadConfig())
+
+
+def test_workload_rejects_unknown_kind():
+    network = build()
+    with pytest.raises(ConfigurationError):
+        WorkloadGenerator(network.clients, WorkloadConfig(),
+                          workload="chaos")
+
+
+def test_deterministic_given_seed():
+    first = build(seed=21).run_workload()
+    second = build(seed=21).run_workload()
+    assert first.overall_throughput == second.overall_throughput
+    assert first.overall_latency == second.overall_latency
+
+
+def test_different_seeds_differ_slightly():
+    first = build(seed=21, process="poisson").run_workload()
+    second = build(seed=22, process="poisson").run_workload()
+    assert first.overall_latency != second.overall_latency

@@ -1,0 +1,97 @@
+"""Tests for configuration validation."""
+
+import pytest
+
+from repro.common.config import (
+    ChannelConfig,
+    OrdererConfig,
+    TopologyConfig,
+    WorkloadConfig,
+)
+from repro.common.errors import ConfigurationError
+
+
+def test_default_topology_is_valid():
+    TopologyConfig().validate()
+
+
+def test_defaults_match_paper_table_and_sections():
+    orderer = OrdererConfig()
+    assert orderer.batch_size == 100      # §III default
+    assert orderer.batch_timeout == 1.0   # §III default
+    assert orderer.partitions == 1        # §III Kafka default
+    assert orderer.replication_factor == 3
+    workload = WorkloadConfig()
+    assert workload.tx_size == 1          # §IV 1-byte transactions
+    assert workload.ordering_timeout == 3.0  # §IV.C client timeout
+    topology = TopologyConfig()
+    assert topology.network_bandwidth == 125_000_000.0  # 1 Gbps in bytes/s
+
+
+def test_unknown_orderer_kind_rejected():
+    with pytest.raises(ConfigurationError):
+        OrdererConfig(kind="pbft").validate()
+
+
+def test_solo_must_be_single_node():
+    with pytest.raises(ConfigurationError):
+        OrdererConfig(kind="solo", num_osns=3).validate()
+
+
+def test_kafka_replication_bounded_by_brokers():
+    with pytest.raises(ConfigurationError):
+        OrdererConfig(kind="kafka", num_brokers=2,
+                      replication_factor=3).validate()
+
+
+def test_kafka_single_partition_enforced():
+    with pytest.raises(ConfigurationError):
+        OrdererConfig(kind="kafka", partitions=2).validate()
+
+
+def test_raft_multi_node_is_valid():
+    OrdererConfig(kind="raft", num_osns=5).validate()
+
+
+def test_batch_size_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        OrdererConfig(batch_size=0).validate()
+
+
+def test_batch_timeout_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        OrdererConfig(batch_timeout=0).validate()
+
+
+def test_workload_rate_positive():
+    with pytest.raises(ConfigurationError):
+        WorkloadConfig(arrival_rate=0).validate()
+
+
+def test_workload_window_must_remain():
+    with pytest.raises(ConfigurationError):
+        WorkloadConfig(duration=4, warmup=3, cooldown=2).validate()
+
+
+def test_workload_arrival_process_names():
+    WorkloadConfig(arrival_process="poisson").validate()
+    with pytest.raises(ConfigurationError):
+        WorkloadConfig(arrival_process="bursty").validate()
+
+
+def test_channel_requires_name_and_policy():
+    with pytest.raises(ConfigurationError):
+        ChannelConfig(name="").validate()
+    with pytest.raises(ConfigurationError):
+        ChannelConfig(endorsement_policy="").validate()
+
+
+def test_topology_needs_an_endorsing_peer():
+    with pytest.raises(ConfigurationError):
+        TopologyConfig(num_endorsing_peers=0).validate()
+
+
+def test_num_peers_sums_endorsing_and_committing():
+    topology = TopologyConfig(num_endorsing_peers=3,
+                              num_committing_only_peers=2)
+    assert topology.num_peers == 5

@@ -1,0 +1,32 @@
+"""Tests for the fabric-repro CLI."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENT_IDS, main
+
+
+def test_tab1_prints_table(capsys):
+    assert main(["tab1"]) == 0
+    output = capsys.readouterr().out
+    assert "tab1" in output
+    assert "BatchSize" in output
+
+
+def test_unknown_experiment_exits_with_error():
+    with pytest.raises(SystemExit):
+        main(["figX"])
+
+
+def test_experiment_id_list_is_complete():
+    assert set(EXPERIMENT_IDS) == {
+        "tab1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+        "tab2", "tab3", "fig8"}
+
+
+def test_help_mentions_paper():
+    with pytest.raises(SystemExit):
+        main(["--help"])
+
+
+def test_seed_flag_parsed(capsys):
+    assert main(["tab1", "--seed", "9"]) == 0

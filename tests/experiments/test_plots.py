@@ -1,0 +1,70 @@
+"""Tests for ASCII figure plotting."""
+
+import pytest
+
+from repro.experiments.plots import ascii_plot, plot_if_supported, plot_result
+from repro.experiments.report import ExperimentResult
+
+
+def make_fig_result():
+    return ExperimentResult(
+        experiment_id="fig2",
+        title="t",
+        columns=["orderer", "policy", "arrival_rate", "throughput_tps"],
+        rows=[
+            ["solo", "OR", 100.0, 100.0],
+            ["solo", "OR", 300.0, 300.0],
+            ["solo", "OR", 500.0, 305.0],
+            ["solo", "AND", 100.0, 100.0],
+            ["solo", "AND", 300.0, 210.0],
+            ["kafka", "OR", 100.0, 100.0],
+        ])
+
+
+def test_ascii_plot_renders_points_and_legend():
+    chart = ascii_plot({"OR": [(0, 0), (10, 10)],
+                        "AND": [(0, 0), (10, 5)]},
+                       title="demo", x_label="rate", y_label="tps")
+    assert "demo" in chart
+    assert "o OR" in chart
+    assert "* AND" in chart
+    assert "x: rate" in chart
+    # The top of the OR line reaches the top row of the grid.
+    top_row = chart.splitlines()[1]
+    assert "o" in top_row
+
+
+def test_ascii_plot_empty_series():
+    assert "(no data)" in ascii_plot({}, title="empty")
+    assert "(no data)" in ascii_plot({"a": []})
+
+
+def test_ascii_plot_single_point_does_not_crash():
+    chart = ascii_plot({"only": [(5.0, 5.0)]})
+    assert "o only" in chart
+
+
+def test_plot_result_one_panel_per_group():
+    chart = plot_result(make_fig_result(), group_by="orderer",
+                        x="arrival_rate", y="throughput_tps",
+                        series_by="policy")
+    assert "orderer=solo" in chart
+    assert "orderer=kafka" in chart
+    assert chart.count("[fig2]") == 2
+
+
+def test_plot_if_supported_uses_spec():
+    assert plot_if_supported(make_fig_result()) is not None
+
+
+def test_plot_if_supported_unknown_id_is_none():
+    result = ExperimentResult(experiment_id="tab1", title="t",
+                              columns=["a"], rows=[["x"]])
+    assert plot_if_supported(result) is None
+
+
+def test_cli_plot_flag(capsys):
+    from repro.experiments.cli import main
+
+    # tab1 has no plot spec; the flag must not break it.
+    assert main(["tab1", "--plot"]) == 0

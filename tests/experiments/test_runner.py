@@ -1,0 +1,59 @@
+"""Tests for the experiment runner and the cheap experiments."""
+
+import pytest
+
+from repro.experiments.runner import (
+    make_topology,
+    make_workload,
+    run_point,
+    search_peak,
+)
+from repro.experiments.tables import PAPER_TABLE2, run_table1
+
+
+def test_make_topology_defaults_osns_by_kind():
+    assert make_topology("solo", "OR10", 10).orderer.num_osns == 1
+    assert make_topology("kafka", "OR10", 10).orderer.num_osns == 3
+    assert make_topology("raft", "OR10", 10).orderer.num_osns == 3
+
+
+def test_make_topology_validates():
+    make_topology("raft", "AND5", 5, num_osns=5).validate()
+
+
+def test_make_workload_trims_window_for_short_runs():
+    workload = make_workload(100, duration=4.0)
+    workload.validate()
+    assert workload.warmup + workload.cooldown < workload.duration
+
+
+def test_run_point_returns_metrics():
+    point = run_point("solo", "OR3", 30, peers=3, duration=6)
+    assert point.orderer_kind == "solo"
+    assert point.throughput == pytest.approx(30, rel=0.2)
+    assert point.latency > 0
+
+
+def test_search_peak_monotone_result():
+    peak, points = search_peak("solo", "OR3", 1, rates=[30, 60, 90],
+                               duration=6)
+    assert peak == max(p.throughput for p in points)
+    # One endorsing peer = one client ≈ 50 tps peak (Table II row 1).
+    assert peak == pytest.approx(50, rel=0.15)
+
+
+def test_table1_is_static_and_complete():
+    result = run_table1()
+    items = result.column("item")
+    assert "BatchSize" in items
+    assert "Fabric version" in items
+    assert len(result.rows) >= 10
+    rendered = result.render()
+    assert "1.4.3" in rendered
+
+
+def test_paper_table2_reference_values():
+    # Guard against typos in the embedded paper data.
+    assert PAPER_TABLE2[("OR10", 10)] == 300
+    assert PAPER_TABLE2[("AND5", 5)] == 210
+    assert PAPER_TABLE2[("OR10", 7)] == 310

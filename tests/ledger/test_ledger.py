@@ -1,0 +1,91 @@
+"""Tests for the combined ledger commit semantics."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.types import (
+    Block,
+    KVRead,
+    KVWrite,
+    TransactionEnvelope,
+    TxReadWriteSet,
+    ValidationCode,
+)
+from repro.ledger import Ledger
+
+
+def make_tx(tx_id, write_key, value=b"v"):
+    rwset = TxReadWriteSet(reads=(KVRead(write_key, None),),
+                           writes=(KVWrite(write_key, value),))
+    return TransactionEnvelope(
+        tx_id=tx_id, channel="ch", chaincode="cc", creator="client",
+        rwset=rwset, endorsements=(), response_bytes=b"r")
+
+
+def make_block(ledger, txs, flags):
+    block = Block(number=ledger.height,
+                  previous_hash=ledger.blocks.last_block.header_hash(),
+                  transactions=tuple(txs), channel="ch")
+    block.metadata.validation_flags = list(flags)
+    return block
+
+
+def test_valid_tx_updates_state():
+    ledger = Ledger("ch")
+    tx = make_tx("t1", "k", b"value")
+    ledger.commit_block(make_block(ledger, [tx], [ValidationCode.VALID]))
+    assert ledger.state.get("k").value == b"value"
+    assert ledger.state.get_version("k") == (1, 0)
+    assert ledger.valid_tx_count == 1
+
+
+def test_invalid_tx_recorded_but_state_untouched():
+    ledger = Ledger("ch")
+    tx = make_tx("t1", "k")
+    ledger.commit_block(make_block(
+        ledger, [tx], [ValidationCode.MVCC_READ_CONFLICT]))
+    assert ledger.state.get("k") is None        # state not updated
+    assert ledger.height == 2                   # but block recorded
+    assert ledger.has_transaction("t1")         # and the tx is on-chain
+    assert ledger.invalid_tx_count == 1
+
+
+def test_flags_count_must_match():
+    ledger = Ledger("ch")
+    tx = make_tx("t1", "k")
+    block = make_block(ledger, [tx], [])
+    with pytest.raises(ValidationError):
+        ledger.commit_block(block)
+
+
+def test_version_reflects_tx_position_in_block():
+    ledger = Ledger("ch")
+    txs = [make_tx("t1", "a"), make_tx("t2", "b"), make_tx("t3", "c")]
+    ledger.commit_block(make_block(ledger, txs, [ValidationCode.VALID] * 3))
+    assert ledger.state.get_version("a") == (1, 0)
+    assert ledger.state.get_version("b") == (1, 1)
+    assert ledger.state.get_version("c") == (1, 2)
+
+
+def test_history_records_only_valid_writes():
+    ledger = Ledger("ch")
+    txs = [make_tx("t1", "k", b"1"), make_tx("t2", "k", b"2")]
+    flags = [ValidationCode.VALID, ValidationCode.MVCC_READ_CONFLICT]
+    ledger.commit_block(make_block(ledger, txs, flags))
+    history = ledger.history.for_key("k")
+    assert len(history) == 1
+    assert history[0].tx_id == "t1"
+
+
+def test_has_transaction_false_before_commit():
+    ledger = Ledger("ch")
+    assert not ledger.has_transaction("nope")
+
+
+def test_chain_grows_and_verifies():
+    ledger = Ledger("ch")
+    for index in range(5):
+        tx = make_tx(f"t{index}", f"k{index}")
+        ledger.commit_block(make_block(ledger, [tx], [ValidationCode.VALID]))
+    assert ledger.height == 6
+    assert ledger.blocks.verify_chain()

@@ -1,0 +1,71 @@
+"""Tests for the versioned world state."""
+
+from repro.common.types import KVWrite
+from repro.ledger import WorldState
+
+
+def test_get_absent_key_is_none():
+    state = WorldState()
+    assert state.get("missing") is None
+    assert state.get_version("missing") is None
+
+
+def test_apply_write_sets_value_and_version():
+    state = WorldState()
+    state.apply_write(KVWrite("k", b"v"), version=(3, 7))
+    entry = state.get("k")
+    assert entry.value == b"v"
+    assert entry.version == (3, 7)
+    assert state.get_version("k") == (3, 7)
+
+
+def test_overwrite_bumps_version():
+    state = WorldState()
+    state.apply_write(KVWrite("k", b"v1"), version=(1, 0))
+    state.apply_write(KVWrite("k", b"v2"), version=(2, 5))
+    assert state.get("k").value == b"v2"
+    assert state.get_version("k") == (2, 5)
+
+
+def test_delete_removes_key():
+    state = WorldState()
+    state.apply_write(KVWrite("k", b"v"), version=(1, 0))
+    state.apply_write(KVWrite("k", b"", is_delete=True), version=(2, 0))
+    assert state.get("k") is None
+    assert "k" not in state
+
+
+def test_delete_of_absent_key_is_noop():
+    state = WorldState()
+    state.apply_write(KVWrite("k", b"", is_delete=True), version=(1, 0))
+    assert len(state) == 0
+
+
+def test_apply_writes_batch():
+    state = WorldState()
+    state.apply_writes([KVWrite("a", b"1"), KVWrite("b", b"2")],
+                       version=(1, 0))
+    assert len(state) == 2
+    assert state.get("a").version == (1, 0)
+
+
+def test_range_scan_half_open_sorted():
+    state = WorldState()
+    for key in ["a", "b", "c", "d"]:
+        state.apply_write(KVWrite(key, key.encode()), version=(1, 0))
+    scanned = state.range_scan("b", "d")
+    assert [key for key, _ in scanned] == ["b", "c"]
+
+
+def test_keys_sorted():
+    state = WorldState()
+    for key in ["z", "a", "m"]:
+        state.apply_write(KVWrite(key, b"v"), version=(1, 0))
+    assert state.keys() == ["a", "m", "z"]
+
+
+def test_contains_and_len():
+    state = WorldState()
+    state.apply_write(KVWrite("k", b"v"), version=(1, 0))
+    assert "k" in state
+    assert len(state) == 1

@@ -1,0 +1,158 @@
+"""Tests for the metrics collector (Definitions 4.1, 4.2, 4.3)."""
+
+import pytest
+
+from repro.common.types import ValidationCode
+from repro.metrics.collector import MetricsCollector
+from repro.sim import Simulation
+
+
+def at(sim, time):
+    """Advance the simulation clock to ``time``."""
+    def nudge():
+        yield sim.timeout(time - sim.now)
+    sim.run(until=sim.process(nudge()))
+
+
+def full_lifecycle(collector, sim, tx_id, submit, endorse, order, commit,
+                   code=ValidationCode.VALID):
+    at(sim, submit)
+    collector.tx_submitted(tx_id)
+    at(sim, endorse)
+    collector.tx_endorsed(tx_id)
+    collector.tx_broadcast(tx_id)
+    at(sim, order)
+    collector.tx_ordered(tx_id)
+    at(sim, commit)
+    collector.tx_validated(tx_id, code)
+    collector.tx_committed(tx_id)
+
+
+def test_throughput_counts_valid_commits_in_window():
+    sim = Simulation()
+    collector = MetricsCollector(sim)
+    for index, commit_time in enumerate([1.0, 2.0, 3.0, 12.0]):
+        full_lifecycle(collector, sim, f"t{index}", commit_time - 0.9,
+                       commit_time - 0.6, commit_time - 0.3, commit_time)
+    metrics = collector.aggregate(0.0, 10.0)
+    assert metrics.overall_throughput == pytest.approx(3 / 10)
+
+
+def test_invalid_commits_excluded_from_throughput():
+    sim = Simulation()
+    collector = MetricsCollector(sim)
+    full_lifecycle(collector, sim, "good", 0.1, 0.2, 0.3, 0.4)
+    full_lifecycle(collector, sim, "bad", 1.1, 1.2, 1.3, 1.4,
+                   code=ValidationCode.MVCC_READ_CONFLICT)
+    metrics = collector.aggregate(0.0, 10.0)
+    assert metrics.overall_throughput == pytest.approx(0.1)
+    assert metrics.invalid_rate == pytest.approx(0.1)
+
+
+def test_latency_definition_commit_minus_submit():
+    sim = Simulation()
+    collector = MetricsCollector(sim)
+    full_lifecycle(collector, sim, "t", 1.0, 1.4, 1.8, 2.5)
+    metrics = collector.aggregate(0.0, 10.0)
+    assert metrics.overall_latency == pytest.approx(1.5)
+    assert metrics.execute_latency == pytest.approx(0.4)
+    assert metrics.order_latency == pytest.approx(0.4)
+    assert metrics.validate_latency == pytest.approx(0.7)
+    assert metrics.order_validate_latency == pytest.approx(1.1)
+
+
+def test_rejected_transactions_contribute_rejection_latency():
+    sim = Simulation()
+    collector = MetricsCollector(sim)
+    at(sim, 1.0)
+    collector.tx_submitted("t")
+    at(sim, 4.0)
+    collector.tx_rejected("t", "ordering timeout")
+    metrics = collector.aggregate(0.0, 10.0)
+    assert metrics.overall_latency == pytest.approx(3.0)
+    assert metrics.rejected_rate == pytest.approx(0.1)
+
+
+def test_commit_after_rejection_still_counts_for_throughput():
+    sim = Simulation()
+    collector = MetricsCollector(sim)
+    at(sim, 1.0)
+    collector.tx_submitted("t")
+    at(sim, 4.0)
+    collector.tx_rejected("t", "ordering timeout")
+    at(sim, 6.0)
+    collector.tx_validated("t", ValidationCode.VALID)
+    collector.tx_committed("t")
+    metrics = collector.aggregate(0.0, 10.0)
+    assert metrics.overall_throughput == pytest.approx(0.1)
+    # Latency prefers the real commit time once it exists.
+    assert metrics.overall_latency == pytest.approx(5.0)
+
+
+def test_rejection_after_commit_is_ignored():
+    sim = Simulation()
+    collector = MetricsCollector(sim)
+    full_lifecycle(collector, sim, "t", 1.0, 1.1, 1.2, 1.3)
+    collector.tx_rejected("t", "late timeout")
+    assert collector.records["t"].rejected is None
+
+
+def test_tx_ordered_dedupes_across_osns():
+    sim = Simulation()
+    collector = MetricsCollector(sim)
+    at(sim, 1.0)
+    collector.tx_ordered("t")
+    at(sim, 2.0)
+    collector.tx_ordered("t")
+    assert collector.records["t"].ordered == 1.0
+
+
+def test_block_time_definition():
+    sim = Simulation()
+    collector = MetricsCollector(sim)
+    for cut_time in [1.0, 2.0, 3.5]:
+        at(sim, cut_time)
+        collector.block_cut(100, "osn0")
+    metrics = collector.aggregate(0.0, 10.0)
+    assert metrics.block_time == pytest.approx(2.5 / 2)
+
+
+def test_block_time_zero_with_fewer_than_two_cuts():
+    sim = Simulation()
+    collector = MetricsCollector(sim)
+    at(sim, 1.0)
+    collector.block_cut(10, "osn0")
+    assert collector.aggregate(0.0, 5.0).block_time == 0.0
+
+
+def test_phase_throughputs_counted_independently():
+    sim = Simulation()
+    collector = MetricsCollector(sim)
+    # A tx endorsed in the window but committed after it.
+    at(sim, 1.0)
+    collector.tx_submitted("t")
+    at(sim, 2.0)
+    collector.tx_endorsed("t")
+    at(sim, 15.0)
+    collector.tx_ordered("t")
+    collector.tx_validated("t", ValidationCode.VALID)
+    collector.tx_committed("t")
+    metrics = collector.aggregate(0.0, 10.0)
+    assert metrics.execute_throughput == pytest.approx(0.1)
+    assert metrics.order_throughput == 0.0
+    assert metrics.overall_throughput == 0.0
+
+
+def test_empty_window_rejected():
+    sim = Simulation()
+    collector = MetricsCollector(sim)
+    with pytest.raises(ValueError):
+        collector.aggregate(5.0, 5.0)
+
+
+def test_window_boundaries_are_half_open():
+    sim = Simulation()
+    collector = MetricsCollector(sim)
+    full_lifecycle(collector, sim, "t", 1.0, 2.0, 3.0, 10.0)
+    metrics = collector.aggregate(0.0, 10.0)
+    assert metrics.overall_throughput == 0.0  # commit at exactly `end`

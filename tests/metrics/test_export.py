@@ -1,0 +1,92 @@
+"""Tests for metrics/trace export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.common.types import ValidationCode
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.export import (
+    metrics_to_json,
+    throughput_timeseries,
+    traces_to_csv,
+    traces_to_json,
+    write_traces,
+)
+from repro.sim import Simulation
+from tests.metrics.test_collector import at, full_lifecycle
+
+
+def make_collector():
+    sim = Simulation()
+    collector = MetricsCollector(sim)
+    full_lifecycle(collector, sim, "t1", 1.0, 1.2, 1.5, 2.0)
+    full_lifecycle(collector, sim, "t2", 2.5, 2.7, 3.0, 3.5,
+                   code=ValidationCode.MVCC_READ_CONFLICT)
+    at(sim, 4.0)
+    collector.tx_submitted("t3")
+    at(sim, 7.0)
+    collector.tx_rejected("t3", "ordering timeout")
+    return sim, collector
+
+
+def test_csv_roundtrip():
+    _sim, collector = make_collector()
+    text = traces_to_csv(collector)
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert [row["tx_id"] for row in rows] == ["t1", "t2", "t3"]
+    assert rows[0]["validation_code"] == "VALID"
+    assert rows[1]["validation_code"] == "MVCC_READ_CONFLICT"
+    assert rows[2]["reject_reason"] == "ordering timeout"
+
+
+def test_json_roundtrip():
+    _sim, collector = make_collector()
+    rows = json.loads(traces_to_json(collector))
+    assert len(rows) == 3
+    assert rows[0]["committed"] == 2.0
+    assert rows[2]["committed"] is None
+
+
+def test_metrics_to_json():
+    _sim, collector = make_collector()
+    payload = json.loads(metrics_to_json(collector.aggregate(0, 10)))
+    assert payload["overall_throughput"] == pytest.approx(0.1)
+    assert "block_time" in payload
+
+
+def test_write_traces_csv_and_json(tmp_path):
+    _sim, collector = make_collector()
+    csv_path = tmp_path / "trace.csv"
+    json_path = tmp_path / "trace.json"
+    write_traces(collector, str(csv_path))
+    write_traces(collector, str(json_path))
+    assert csv_path.read_text().startswith("tx_id,")
+    assert json.loads(json_path.read_text())
+
+
+def test_write_traces_unknown_extension():
+    _sim, collector = make_collector()
+    with pytest.raises(ValueError):
+        write_traces(collector, "trace.xml")
+
+
+def test_throughput_timeseries_buckets():
+    _sim, collector = make_collector()
+    series = throughput_timeseries(collector, 0.0, 8.0, bucket=1.0)
+    assert len(series) == 8
+    by_time = {t: (commit, reject) for t, commit, reject in series}
+    assert by_time[2.0] == (1.0, 0.0)   # t1 committed at 2.0
+    assert by_time[3.0] == (1.0, 0.0)   # t2 committed at 3.5
+    assert by_time[7.0] == (0.0, 1.0)   # t3 rejected at 7.0
+    assert by_time[5.0] == (0.0, 0.0)
+
+
+def test_throughput_timeseries_validation():
+    _sim, collector = make_collector()
+    with pytest.raises(ValueError):
+        throughput_timeseries(collector, 0, 5, bucket=0)
+    with pytest.raises(ValueError):
+        throughput_timeseries(collector, 5, 5)

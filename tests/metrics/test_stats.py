@@ -1,0 +1,57 @@
+"""Tests for statistics helpers."""
+
+import pytest
+
+from repro.metrics.stats import describe, mean, percentile
+
+
+def test_mean_empty_is_zero():
+    assert mean([]) == 0.0
+
+
+def test_mean_basic():
+    assert mean([1, 2, 3]) == 2.0
+
+
+def test_percentile_empty_is_zero():
+    assert percentile([], 50) == 0.0
+
+
+def test_percentile_single_value():
+    assert percentile([7.0], 99) == 7.0
+
+
+def test_percentile_median_interpolates():
+    assert percentile([1, 2, 3, 4], 50) == pytest.approx(2.5)
+
+
+def test_percentile_extremes():
+    values = [5, 1, 3, 2, 4]
+    assert percentile(values, 0) == 1
+    assert percentile(values, 100) == 5
+
+
+def test_percentile_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        percentile([1], 101)
+    with pytest.raises(ValueError):
+        percentile([1], -1)
+
+
+def test_percentile_unsorted_input():
+    assert percentile([9, 1, 5], 50) == 5
+
+
+def test_describe_fields():
+    summary = describe([1.0, 2.0, 3.0])
+    assert summary["count"] == 3
+    assert summary["mean"] == 2.0
+    assert summary["min"] == 1.0
+    assert summary["max"] == 3.0
+    assert summary["p50"] == 2.0
+
+
+def test_describe_empty():
+    summary = describe([])
+    assert summary["count"] == 0
+    assert summary["mean"] == 0.0

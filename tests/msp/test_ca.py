@@ -1,0 +1,115 @@
+"""Tests for the certificate authority and MSP."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.msp import MSP, CertificateAuthority, Role
+
+
+def test_enroll_issues_identity_with_certificate():
+    ca = CertificateAuthority("Org1")
+    identity = ca.enroll("peer0", Role.PEER)
+    assert identity.name == "peer0"
+    assert identity.msp_id == "Org1"
+    assert identity.certificate.role is Role.PEER
+
+
+def test_double_enrollment_rejected():
+    ca = CertificateAuthority("Org1")
+    ca.enroll("peer0", Role.PEER)
+    with pytest.raises(ConfigurationError):
+        ca.enroll("peer0", Role.PEER)
+
+
+def test_certificate_validates_at_issuing_ca():
+    ca = CertificateAuthority("Org1")
+    identity = ca.enroll("peer0", Role.PEER)
+    assert ca.validate_certificate(identity.certificate)
+
+
+def test_certificate_rejected_by_other_ca():
+    org1 = CertificateAuthority("Org1")
+    org2 = CertificateAuthority("Org2")
+    identity = org1.enroll("peer0", Role.PEER)
+    assert not org2.validate_certificate(identity.certificate)
+
+
+def test_revoked_certificate_invalid():
+    ca = CertificateAuthority("Org1")
+    identity = ca.enroll("peer0", Role.PEER)
+    ca.revoke("peer0")
+    assert not ca.validate_certificate(identity.certificate)
+    assert ca.is_revoked("peer0")
+
+
+def test_revoking_unknown_subject_rejected():
+    with pytest.raises(ConfigurationError):
+        CertificateAuthority("Org1").revoke("ghost")
+
+
+def test_serials_increase():
+    ca = CertificateAuthority("Org1")
+    first = ca.enroll("a", Role.CLIENT)
+    second = ca.enroll("b", Role.CLIENT)
+    assert second.certificate.serial > first.certificate.serial
+
+
+def test_identity_signature_verifies_through_msp():
+    ca = CertificateAuthority("Org1")
+    identity = ca.enroll("peer0", Role.PEER)
+    msp = MSP([ca])
+    signature = identity.sign(b"payload")
+    assert msp.verify_signature(signature, b"payload", "Org1")
+    assert not msp.verify_signature(signature, b"other", "Org1")
+
+
+def test_msp_rejects_unknown_domain():
+    ca = CertificateAuthority("Org1")
+    identity = ca.enroll("peer0", Role.PEER)
+    msp = MSP([ca])
+    assert not msp.verify_signature(identity.sign(b"m"), b"m", "OrgX")
+
+
+def test_msp_rejects_revoked_signer():
+    ca = CertificateAuthority("Org1")
+    identity = ca.enroll("peer0", Role.PEER)
+    msp = MSP([ca])
+    signature = identity.sign(b"m")
+    ca.revoke("peer0")
+    assert not msp.verify_signature(signature, b"m", "Org1")
+
+
+def test_msp_rejects_unenrolled_signer():
+    ca = CertificateAuthority("Org1")
+    msp = MSP([ca])
+    # Forge a signature using the CA's own crypto for an unenrolled subject.
+    signature = ca.crypto.sign("ghost", b"m")
+    assert not msp.verify_signature(signature, b"m", "Org1")
+
+
+def test_channel_writer_authorization():
+    ca = CertificateAuthority("Org1")
+    msp = MSP([ca])
+    msp.grant_channel_writer("mychannel", "client0")
+    assert msp.is_channel_writer("mychannel", "client0")
+    assert not msp.is_channel_writer("mychannel", "client1")
+    assert not msp.is_channel_writer("otherchannel", "client0")
+
+
+def test_has_role():
+    ca = CertificateAuthority("Org1")
+    ca.enroll("peer0", Role.PEER)
+    msp = MSP([ca])
+    assert msp.has_role("peer0", "Org1", Role.PEER)
+    assert not msp.has_role("peer0", "Org1", Role.ORDERER)
+    assert not msp.has_role("ghost", "Org1", Role.PEER)
+
+
+def test_msp_requires_an_authority():
+    with pytest.raises(ValueError):
+        MSP([])
+
+
+def test_empty_msp_id_rejected():
+    with pytest.raises(ConfigurationError):
+        CertificateAuthority("")

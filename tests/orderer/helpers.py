@@ -1,0 +1,90 @@
+"""Shared fixtures for ordering-service tests."""
+
+from __future__ import annotations
+
+from repro.common.config import OrdererConfig
+from repro.common.types import (
+    KVRead,
+    KVWrite,
+    TransactionEnvelope,
+    TxReadWriteSet,
+)
+from repro.msp import CertificateAuthority, Role
+from repro.runtime.context import NetworkContext
+from repro.runtime.node import NodeBase
+
+CHANNEL = "mychannel"
+
+
+def make_context(seed: int = 5) -> NetworkContext:
+    return NetworkContext.create(seed=seed)
+
+
+def make_ca() -> CertificateAuthority:
+    return CertificateAuthority("Org1")
+
+
+def orderer_identities(ca: CertificateAuthority, count: int):
+    return [ca.enroll(f"osn{i}", Role.ORDERER) for i in range(count)]
+
+
+def make_envelope(tx_id: str, channel: str = CHANNEL) -> TransactionEnvelope:
+    rwset = TxReadWriteSet(reads=(KVRead(tx_id, None),),
+                           writes=(KVWrite(tx_id, b"v"),))
+    return TransactionEnvelope(
+        tx_id=tx_id, channel=channel, chaincode="noop", creator="client0",
+        rwset=rwset, endorsements=(), response_bytes=b"resp")
+
+
+class Sink(NodeBase):
+    """A node that records every block / ack / nack it receives."""
+
+    def __init__(self, context: NetworkContext, name: str) -> None:
+        super().__init__(context, name, cores=1)
+        self.blocks = []
+        self.acks = []
+        self.nacks = []
+        self.on("block", self._on_block)
+        self.on("broadcast_ack", self._on_ack)
+        self.on("broadcast_nack", self._on_nack)
+
+    def _on_block(self, message):
+        self.blocks.append(message.payload)
+        return
+        yield
+
+    def _on_ack(self, message):
+        self.acks.append(message.payload["tx_id"])
+        return
+        yield
+
+    def _on_nack(self, message):
+        self.nacks.append(message.payload)
+        return
+        yield
+
+    def committed_tx_ids(self) -> list[str]:
+        return [tx.tx_id for block in self.blocks
+                for tx in block.transactions]
+
+
+def drive(service, context, envelopes, client: Sink,
+          subscriber: Sink | None = None, spacing: float = 0.001,
+          start_at: float = 2.0, run_until: float | None = None):
+    """Start ``service``, subscribe, broadcast ``envelopes``, run the sim."""
+    service.start()
+    client.start()
+    if subscriber is not None:
+        subscriber.start()
+
+    def feed():
+        yield context.sim.timeout(start_at)
+        if subscriber is not None:
+            subscriber.send(service.nodes[0].name, "deliver_subscribe", {})
+        for envelope in envelopes:
+            client.send(service.osn_for(0).name, "broadcast", envelope,
+                        size=envelope.wire_size())
+            yield context.sim.timeout(spacing)
+
+    context.sim.process(feed())
+    context.sim.run(until=run_until or (start_at + 10.0))

@@ -1,0 +1,70 @@
+"""Tests for BatchSize/BatchTimeout block cutting."""
+
+from repro.common.config import OrdererConfig
+from repro.orderer.blockcutter import BlockCutter
+from tests.orderer.helpers import make_envelope
+
+
+def make_cutter(batch_size=3, batch_timeout=1.0):
+    return BlockCutter(OrdererConfig(batch_size=batch_size,
+                                     batch_timeout=batch_timeout))
+
+
+def test_no_batch_until_size_reached():
+    cutter = make_cutter(batch_size=3)
+    assert cutter.add(make_envelope("t1")) == []
+    assert cutter.add(make_envelope("t2")) == []
+    assert cutter.pending_count == 2
+
+
+def test_batch_cut_exactly_at_size():
+    cutter = make_cutter(batch_size=3)
+    cutter.add(make_envelope("t1"))
+    cutter.add(make_envelope("t2"))
+    batches = cutter.add(make_envelope("t3"))
+    assert len(batches) == 1
+    assert [tx.tx_id for tx in batches[0]] == ["t1", "t2", "t3"]
+    assert cutter.pending_count == 0
+
+
+def test_forced_cut_returns_partial_batch():
+    cutter = make_cutter(batch_size=100)
+    cutter.add(make_envelope("t1"))
+    cutter.add(make_envelope("t2"))
+    batch = cutter.cut()
+    assert [tx.tx_id for tx in batch] == ["t1", "t2"]
+    assert not cutter.has_pending
+
+
+def test_forced_cut_when_empty_is_empty():
+    assert make_cutter().cut() == []
+
+
+def test_order_preserved_across_batches():
+    cutter = make_cutter(batch_size=2)
+    ids = [f"t{i}" for i in range(6)]
+    collected = []
+    for tx_id in ids:
+        for batch in cutter.add(make_envelope(tx_id)):
+            collected.extend(tx.tx_id for tx in batch)
+    assert collected == ids
+
+
+def test_batch_size_one_cuts_every_envelope():
+    cutter = make_cutter(batch_size=1)
+    batches = cutter.add(make_envelope("t1"))
+    assert len(batches) == 1
+    assert cutter.pending_count == 0
+
+
+def test_determinism_two_cutters_same_stream():
+    first = make_cutter(batch_size=4)
+    second = make_cutter(batch_size=4)
+    stream = [make_envelope(f"t{i}") for i in range(10)]
+    cuts_first, cuts_second = [], []
+    for envelope in stream:
+        cuts_first.extend(tuple(tx.tx_id for tx in batch)
+                          for batch in first.add(envelope))
+        cuts_second.extend(tuple(tx.tx_id for tx in batch)
+                           for batch in second.add(envelope))
+    assert cuts_first == cuts_second

@@ -1,0 +1,130 @@
+"""Unit tests for per-channel ordering state at the OSN level."""
+
+import pytest
+
+from repro.common.config import OrdererConfig
+from repro.common.errors import ConfigurationError
+from repro.orderer.solo import SoloOrderingService
+from tests.orderer.helpers import (
+    Sink,
+    make_ca,
+    make_context,
+    make_envelope,
+    orderer_identities,
+)
+
+CHANNELS = ["alpha", "beta"]
+
+
+def make_solo(context, batch_size=3, batch_timeout=1.0):
+    ca = make_ca()
+    config = OrdererConfig(kind="solo", batch_size=batch_size,
+                           batch_timeout=batch_timeout)
+    return SoloOrderingService(context, config, CHANNELS,
+                               orderer_identities(ca, 1))
+
+
+def test_osn_requires_at_least_one_channel():
+    context = make_context()
+    ca = make_ca()
+    config = OrdererConfig(kind="solo")
+    with pytest.raises(ValueError):
+        SoloOrderingService(context, config, [],
+                            orderer_identities(ca, 1))
+
+
+def test_per_channel_block_numbering():
+    context = make_context()
+    service = make_solo(context)
+    osn = service.nodes[0]
+    service.start()
+    client = Sink(context, "client0")
+    client.start()
+    sub = Sink(context, "sub")
+    sub.start()
+    sub.send(osn.name, "deliver_subscribe", {})
+
+    def feed():
+        yield context.sim.timeout(0.5)
+        for index in range(6):
+            client.send(osn.name, "broadcast",
+                        make_envelope(f"a{index}", channel="alpha"),
+                        size=900)
+        for index in range(3):
+            client.send(osn.name, "broadcast",
+                        make_envelope(f"b{index}", channel="beta"),
+                        size=900)
+
+    context.sim.process(feed())
+    context.sim.run(until=5.0)
+    alpha_blocks = [b for b in sub.blocks if b.channel == "alpha"]
+    beta_blocks = [b for b in sub.blocks if b.channel == "beta"]
+    assert [b.number for b in alpha_blocks] == [1, 2]
+    assert [b.number for b in beta_blocks] == [1]
+    # Chains are hash-linked independently per channel.
+    assert alpha_blocks[1].previous_hash == alpha_blocks[0].header_hash()
+    assert osn.chain("alpha").blocks_cut == 2
+    assert osn.chain("beta").blocks_cut == 1
+    assert osn.blocks_cut == 3
+
+
+def test_channel_scoped_subscription():
+    context = make_context()
+    service = make_solo(context, batch_size=1)
+    osn = service.nodes[0]
+    service.start()
+    client = Sink(context, "client0")
+    client.start()
+    alpha_sub = Sink(context, "alphasub")
+    alpha_sub.start()
+    alpha_sub.send(osn.name, "deliver_subscribe", {"channels": ["alpha"]})
+
+    def feed():
+        yield context.sim.timeout(0.5)
+        client.send(osn.name, "broadcast",
+                    make_envelope("a0", channel="alpha"), size=900)
+        client.send(osn.name, "broadcast",
+                    make_envelope("b0", channel="beta"), size=900)
+
+    context.sim.process(feed())
+    context.sim.run(until=3.0)
+    assert [b.channel for b in alpha_sub.blocks] == ["alpha"]
+
+
+def test_per_channel_batch_timeout_timers_are_independent():
+    context = make_context()
+    service = make_solo(context, batch_size=100, batch_timeout=1.0)
+    osn = service.nodes[0]
+    service.start()
+    client = Sink(context, "client0")
+    client.start()
+    sub = Sink(context, "sub")
+    sub.start()
+    sub.send(osn.name, "deliver_subscribe", {})
+
+    def feed():
+        yield context.sim.timeout(0.5)
+        client.send(osn.name, "broadcast",
+                    make_envelope("a0", channel="alpha"), size=900)
+        yield context.sim.timeout(0.6)
+        client.send(osn.name, "broadcast",
+                    make_envelope("b0", channel="beta"), size=900)
+
+    context.sim.process(feed())
+    context.sim.run(until=5.0)
+    cut_times = {b.channel: b.metadata.cut_at for b in sub.blocks}
+    # Each channel cut ~1 s after its own first envelope.
+    assert cut_times["alpha"] == pytest.approx(1.5, abs=0.1)
+    assert cut_times["beta"] == pytest.approx(2.1, abs=0.1)
+
+
+def test_unknown_channel_broadcast_nacked():
+    context = make_context()
+    service = make_solo(context)
+    service.start()
+    client = Sink(context, "client0")
+    client.start()
+    client.send(service.nodes[0].name, "broadcast",
+                make_envelope("x", channel="gamma"), size=900)
+    context.sim.run(until=2.0)
+    assert len(client.nacks) == 1

@@ -1,0 +1,237 @@
+"""Tests for the Raft ordering service: elections, replication, failover."""
+
+import pytest
+
+from repro.common.config import OrdererConfig
+from repro.orderer.raft.node import RaftState
+from repro.orderer.raft.service import RaftOrderingService
+from tests.orderer.helpers import (
+    CHANNEL,
+    Sink,
+    drive,
+    make_ca,
+    make_context,
+    make_envelope,
+    orderer_identities,
+)
+
+
+def make_raft(context, num_osns=3, batch_size=5, batch_timeout=1.0):
+    ca = make_ca()
+    config = OrdererConfig(kind="raft", num_osns=num_osns,
+                           batch_size=batch_size,
+                           batch_timeout=batch_timeout)
+    return RaftOrderingService(context, config, CHANNEL,
+                               orderer_identities(ca, num_osns))
+
+
+def leader_of(service):
+    # A crashed ex-leader still believes it leads (it cannot learn
+    # otherwise); only live nodes count.
+    leaders = [node for node in service.nodes
+               if not node.crashed and node.raft.is_leader]
+    return leaders[0] if leaders else None
+
+
+def test_exactly_one_leader_elected():
+    context = make_context()
+    service = make_raft(context)
+    service.start()
+    context.sim.run(until=3.0)
+    leaders = [node for node in service.nodes if node.raft.is_leader]
+    assert len(leaders) == 1
+    followers = [node for node in service.nodes
+                 if node.raft.state is RaftState.FOLLOWER]
+    assert len(followers) == 2
+    # All agree on who leads.
+    assert {node.raft.leader_id for node in service.nodes} == {
+        leaders[0].name}
+
+
+def test_single_node_raft_becomes_leader_immediately():
+    context = make_context()
+    service = make_raft(context, num_osns=1)
+    service.start()
+    context.sim.run(until=0.5)
+    assert service.nodes[0].raft.is_leader
+    assert service.nodes[0].leader_ready
+
+
+def test_ordering_through_raft_delivers_blocks():
+    context = make_context()
+    service = make_raft(context, batch_size=5)
+    client = Sink(context, "client0")
+    subscriber = Sink(context, "peersub")
+    envelopes = [make_envelope(f"t{i}") for i in range(10)]
+    drive(service, context, envelopes, client, subscriber)
+    assert subscriber.committed_tx_ids() == [f"t{i}" for i in range(10)]
+    assert sorted(client.acks) == sorted(f"t{i}" for i in range(10))
+
+
+def test_followers_forward_to_leader():
+    context = make_context()
+    service = make_raft(context, batch_size=3)
+    service.start()
+    client = Sink(context, "client0")
+    client.start()
+    subscriber = Sink(context, "peersub")
+    subscriber.start()
+    context.sim.run(until=2.0)
+    leader = leader_of(service)
+    followers = [node for node in service.nodes if node is not leader]
+
+    def feed():
+        subscriber.send(followers[0].name, "deliver_subscribe", {})
+        for index in range(3):
+            client.send(followers[index % len(followers)].name, "broadcast",
+                        make_envelope(f"t{index}"), size=900)
+            yield context.sim.timeout(0.01)
+
+    context.sim.process(feed())
+    context.sim.run(until=6.0)
+    assert subscriber.committed_tx_ids() == ["t0", "t1", "t2"]
+    # Acks come from the OSN the client broadcast to, not the leader.
+    assert sorted(client.acks) == ["t0", "t1", "t2"]
+
+
+def test_all_osns_apply_identical_blocks():
+    context = make_context()
+    service = make_raft(context, num_osns=5, batch_size=4)
+    client = Sink(context, "client0")
+    subs = [Sink(context, f"sub{i}") for i in range(5)]
+    for sub in subs:
+        sub.start()
+
+    def subscribe_all():
+        yield context.sim.timeout(1.8)
+        for index, sub in enumerate(subs):
+            sub.send(service.nodes[index].name, "deliver_subscribe", {})
+
+    context.sim.process(subscribe_all())
+    envelopes = [make_envelope(f"t{i}") for i in range(8)]
+    drive(service, context, envelopes, client)
+    hashes = [[block.header_hash() for block in sub.blocks] for sub in subs]
+    assert all(h == hashes[0] for h in hashes)
+    assert len(hashes[0]) == 2
+
+
+def test_timeout_cut_at_leader():
+    context = make_context()
+    service = make_raft(context, batch_size=100, batch_timeout=0.5)
+    client = Sink(context, "client0")
+    subscriber = Sink(context, "peersub")
+    envelopes = [make_envelope("t0"), make_envelope("t1")]
+    drive(service, context, envelopes, client, subscriber)
+    assert len(subscriber.blocks) == 1
+    assert len(subscriber.blocks[0]) == 2
+
+
+def test_leader_crash_triggers_reelection_and_progress():
+    context = make_context()
+    service = make_raft(context, batch_size=2)
+    client = Sink(context, "client0")
+    subscriber = Sink(context, "peersub")
+    service.start()
+    client.start()
+    subscriber.start()
+    context.sim.run(until=2.0)
+    old_leader = leader_of(service)
+    assert old_leader is not None
+    subscriber.send(
+        [n for n in service.nodes if n is not old_leader][0].name,
+        "deliver_subscribe", {})
+
+    def feed_and_crash():
+        for index in range(4):
+            client.send(old_leader.name, "broadcast",
+                        make_envelope(f"a{index}"), size=900)
+            yield context.sim.timeout(0.05)
+        yield context.sim.timeout(1.0)
+        old_leader.crash()
+        yield context.sim.timeout(3.0)  # allow re-election
+        new_leader = leader_of(service)
+        assert new_leader is not None and new_leader is not old_leader
+        for index in range(4):
+            client.send(new_leader.name, "broadcast",
+                        make_envelope(f"b{index}"), size=900)
+            yield context.sim.timeout(0.05)
+
+    context.sim.process(feed_and_crash())
+    context.sim.run(until=15.0)
+    committed = subscriber.committed_tx_ids()
+    # Pre-crash and post-crash envelopes both committed.
+    assert {"a0", "a1", "a2", "a3"} <= set(committed)
+    assert {"b0", "b1", "b2", "b3"} <= set(committed)
+    # Block numbering continued without forks at the subscriber.
+    numbers = [block.number for block in subscriber.blocks]
+    assert numbers == sorted(set(numbers))
+
+
+def test_minority_partition_cannot_commit():
+    context = make_context()
+    service = make_raft(context, num_osns=3, batch_size=1)
+    client = Sink(context, "client0")
+    subscriber = Sink(context, "peersub")
+    service.start()
+    client.start()
+    subscriber.start()
+    context.sim.run(until=2.0)
+    leader = leader_of(service)
+    # Cut the leader off from both followers: it keeps leading its own
+    # minority partition but must not commit anything new.
+    for node in service.nodes:
+        if node is not leader:
+            node.crash()
+    subscriber.send(leader.name, "deliver_subscribe", {})
+    committed_before = leader.raft.commit_index
+    client.send(leader.name, "broadcast", make_envelope("lost"), size=900)
+    context.sim.run(until=8.0)
+    assert leader.raft.commit_index == committed_before
+    assert subscriber.committed_tx_ids() == []
+    assert client.acks == []
+
+
+def test_recovered_follower_catches_up():
+    context = make_context()
+    service = make_raft(context, num_osns=3, batch_size=2)
+    client = Sink(context, "client0")
+    service.start()
+    client.start()
+    context.sim.run(until=2.0)
+    leader = leader_of(service)
+    follower = [n for n in service.nodes if n is not leader][0]
+    follower.crash()
+
+    def feed():
+        for index in range(6):
+            client.send(leader.name, "broadcast",
+                        make_envelope(f"t{index}"), size=900)
+            yield context.sim.timeout(0.05)
+
+    context.sim.process(feed())
+    context.sim.run(until=5.0)
+    assert follower.raft.log.last_index < leader.raft.log.last_index
+    follower.recover()
+    context.sim.run(until=10.0)
+    assert follower.raft.log.last_index == leader.raft.log.last_index
+    assert follower.raft.commit_index == leader.raft.commit_index
+
+
+def test_log_matching_invariant_across_cluster():
+    # After a run with traffic, committed prefixes agree everywhere.
+    context = make_context()
+    service = make_raft(context, num_osns=5, batch_size=3)
+    client = Sink(context, "client0")
+    envelopes = [make_envelope(f"t{i}") for i in range(12)]
+    drive(service, context, envelopes, client)
+    committed = min(node.raft.commit_index for node in service.nodes)
+    assert committed > 0
+    reference = service.nodes[0].raft.log
+    for node in service.nodes[1:]:
+        for index in range(1, committed + 1):
+            assert node.raft.log.term_at(index) == reference.term_at(index)
+            left = node.raft.log.entry_at(index).payload
+            right = reference.entry_at(index).payload
+            assert type(left) is type(right)
+            if left[0] == "block":
+                assert left[1].header_hash() == right[1].header_hash()

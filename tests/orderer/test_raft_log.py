@@ -1,0 +1,96 @@
+"""Unit tests for the Raft log."""
+
+import pytest
+
+from repro.orderer.raft.log import LogEntry, RaftLog
+
+
+def entries(*terms):
+    return [LogEntry(term, f"p{i}") for i, term in enumerate(terms)]
+
+
+def test_empty_log_sentinel():
+    log = RaftLog()
+    assert log.last_index == 0
+    assert log.last_term == 0
+    assert log.term_at(0) == 0
+
+
+def test_append_returns_one_based_index():
+    log = RaftLog()
+    assert log.append(LogEntry(1, "a")) == 1
+    assert log.append(LogEntry(1, "b")) == 2
+    assert log.last_index == 2
+    assert log.entry_at(1).payload == "a"
+
+
+def test_term_at_out_of_range():
+    log = RaftLog()
+    log.append(LogEntry(1, "a"))
+    with pytest.raises(IndexError):
+        log.term_at(2)
+    with pytest.raises(IndexError):
+        log.term_at(-1)
+
+
+def test_matches_consistency_check():
+    log = RaftLog()
+    log.append(LogEntry(1, "a"))
+    log.append(LogEntry(2, "b"))
+    assert log.matches(0, 0)
+    assert log.matches(1, 1)
+    assert log.matches(2, 2)
+    assert not log.matches(2, 1)   # term mismatch
+    assert not log.matches(3, 2)   # beyond the log
+
+
+def test_merge_appends_new_entries():
+    log = RaftLog()
+    log.merge(0, entries(1, 1))
+    assert log.last_index == 2
+
+
+def test_merge_truncates_conflicts():
+    log = RaftLog()
+    log.merge(0, [LogEntry(1, "a"), LogEntry(1, "b"), LogEntry(1, "c")])
+    # New leader overwrites index 2 onward with term-2 entries.
+    log.merge(1, [LogEntry(2, "x")])
+    assert log.last_index == 2
+    assert log.entry_at(2).payload == "x"
+    assert log.term_at(2) == 2
+
+
+def test_merge_is_idempotent_for_duplicates():
+    log = RaftLog()
+    log.merge(0, [LogEntry(1, "a"), LogEntry(1, "b")])
+    log.merge(0, [LogEntry(1, "a"), LogEntry(1, "b")])
+    assert log.last_index == 2
+    assert log.entry_at(1).payload == "a"
+
+
+def test_merge_does_not_truncate_matching_prefix():
+    log = RaftLog()
+    log.merge(0, [LogEntry(1, "a"), LogEntry(1, "b"), LogEntry(1, "c")])
+    # Re-delivering an old AppendEntries with a subset must not drop "c".
+    log.merge(0, [LogEntry(1, "a")])
+    assert log.last_index == 3
+
+
+def test_slice_from():
+    log = RaftLog()
+    log.merge(0, entries(1, 1, 2, 2))
+    assert [e.term for e in log.slice_from(3)] == [2, 2]
+    assert [e.term for e in log.slice_from(1, limit=2)] == [1, 1]
+    assert log.slice_from(5) == []
+    with pytest.raises(IndexError):
+        log.slice_from(0)
+
+
+def test_up_to_date_comparison():
+    log = RaftLog()
+    log.merge(0, entries(1, 2))
+    assert log.is_up_to_date(2, 2)      # identical
+    assert log.is_up_to_date(5, 2)      # longer same term
+    assert log.is_up_to_date(1, 3)      # higher term, shorter
+    assert not log.is_up_to_date(1, 2)  # same term, shorter
+    assert not log.is_up_to_date(9, 1)  # lower term

@@ -1,0 +1,133 @@
+"""Protocol-detail tests for the embedded Raft node."""
+
+from repro.common.config import OrdererConfig
+from repro.orderer.raft.node import RaftState
+from repro.orderer.raft.service import RaftOrderingService
+from repro.sim.network import Message
+from tests.orderer.helpers import (
+    CHANNEL,
+    make_ca,
+    make_context,
+    orderer_identities,
+)
+
+
+def make_cluster(context, num_osns=3):
+    ca = make_ca()
+    config = OrdererConfig(kind="raft", num_osns=num_osns)
+    service = RaftOrderingService(context, config, CHANNEL,
+                                  orderer_identities(ca, num_osns))
+    service.start()
+    return service
+
+
+def elect(context, service):
+    context.sim.run(until=3.0)
+    return next(node for node in service.nodes
+                if not node.crashed and node.raft.is_leader)
+
+
+def test_terms_start_at_one_after_first_election():
+    context = make_context()
+    service = make_cluster(context)
+    leader = elect(context, service)
+    assert leader.raft.current_term >= 1
+    # All live nodes share the leader's term.
+    assert {node.raft.current_term for node in service.nodes} == {
+        leader.raft.current_term}
+
+
+def test_higher_term_message_forces_step_down():
+    context = make_context()
+    service = make_cluster(context)
+    leader = elect(context, service)
+    follower = next(n for n in service.nodes if n is not leader)
+    context.network.send(Message(
+        follower.name, leader.name, "raft_request_vote",
+        {"term": leader.raft.current_term + 10,
+         "candidate": follower.name,
+         "last_log_index": 10 ** 6, "last_log_term": 10 ** 6}))
+    context.sim.run(until=context.sim.now + 0.05)
+    assert leader.raft.state is not RaftState.LEADER
+    assert leader.raft.current_term >= 11
+
+
+def test_vote_denied_to_stale_log():
+    context = make_context()
+    service = make_cluster(context)
+    leader = elect(context, service)
+    voter = next(n for n in service.nodes if n is not leader)
+    # A candidate with an empty log in a higher term: the voter's log is
+    # ahead (it has the no-op), so the vote must be denied.
+    assert voter.raft.log.last_index >= 1
+    term = voter.raft.current_term + 1
+    context.network.send(Message(
+        leader.name, voter.name, "raft_request_vote",
+        {"term": term, "candidate": "osn-ghost-candidate",
+         "last_log_index": 0, "last_log_term": 0}))
+    context.sim.run(until=context.sim.now + 0.05)
+    assert voter.raft.voted_for is None or (
+        voter.raft.voted_for != "osn-ghost-candidate")
+
+
+def test_one_vote_per_term():
+    context = make_context()
+    service = make_cluster(context)
+    leader = elect(context, service)
+    voter = next(n for n in service.nodes if n is not leader)
+    term = voter.raft.current_term + 5
+    last_index = voter.raft.log.last_index
+    last_term = voter.raft.log.last_term
+    for candidate in (leader.name, "someone-else"):
+        context.network.send(Message(
+            leader.name, voter.name, "raft_request_vote",
+            {"term": term, "candidate": candidate,
+             "last_log_index": last_index + 1,
+             "last_log_term": last_term + 1}))
+    context.sim.run(until=context.sim.now + 0.05)
+    # Exactly one candidate received the vote (whichever request arrived
+    # first under network jitter), and the vote is not re-assigned.
+    assert voter.raft.current_term == term
+    assert voter.raft.voted_for in (leader.name, "someone-else")
+
+
+def test_commit_index_never_exceeds_log():
+    context = make_context()
+    service = make_cluster(context)
+    elect(context, service)
+    for node in service.nodes:
+        assert node.raft.commit_index <= node.raft.log.last_index
+        assert node.raft.last_applied <= node.raft.commit_index
+
+
+def test_noop_entry_committed_after_election():
+    context = make_context()
+    service = make_cluster(context)
+    leader = elect(context, service)
+    assert leader.raft.commit_index >= 1
+    assert leader.raft.log.entry_at(1).payload[0] == "noop"
+    assert leader.leader_ready
+
+
+def test_election_timeouts_are_randomized_per_node():
+    context = make_context()
+    service = make_cluster(context, num_osns=5)
+    draws = {node.name: node.context.rng.stream(f"raft.{node.name}")
+             for node in service.nodes}
+    values = {name: stream.random() for name, stream in draws.items()}
+    assert len(set(values.values())) == len(values)
+
+
+def test_five_node_cluster_majority_is_three():
+    context = make_context()
+    service = make_cluster(context, num_osns=5)
+    assert service.nodes[0].raft.majority == 3
+    leader = elect(context, service)
+    # Crash two followers (minority): progress must continue.
+    followers = [n for n in service.nodes if n is not leader]
+    followers[0].crash()
+    followers[1].crash()
+    before = leader.raft.commit_index
+    leader.raft.propose(("noop", leader.raft.current_term))
+    context.sim.run(until=context.sim.now + 1.0)
+    assert leader.raft.commit_index > before

@@ -1,0 +1,137 @@
+"""Tests for the Solo ordering service."""
+
+import pytest
+
+from repro.common.config import OrdererConfig
+from repro.common.errors import ConfigurationError
+from repro.orderer.solo import SoloOrderingService
+from tests.orderer.helpers import (
+    CHANNEL,
+    Sink,
+    drive,
+    make_ca,
+    make_context,
+    make_envelope,
+    orderer_identities,
+)
+
+
+def make_solo(context, batch_size=5, batch_timeout=1.0):
+    ca = make_ca()
+    config = OrdererConfig(kind="solo", batch_size=batch_size,
+                           batch_timeout=batch_timeout)
+    return SoloOrderingService(context, config, CHANNEL,
+                               orderer_identities(ca, 1))
+
+
+def test_solo_requires_exactly_one_identity():
+    context = make_context()
+    ca = make_ca()
+    config = OrdererConfig(kind="solo")
+    with pytest.raises(ConfigurationError):
+        SoloOrderingService(context, config, CHANNEL,
+                            orderer_identities(ca, 2))
+
+
+def test_cut_by_batch_size():
+    context = make_context()
+    service = make_solo(context, batch_size=5)
+    client = Sink(context, "client0")
+    subscriber = Sink(context, "peersub")
+    envelopes = [make_envelope(f"t{i}") for i in range(5)]
+    drive(service, context, envelopes, client, subscriber)
+    assert len(subscriber.blocks) == 1
+    assert subscriber.committed_tx_ids() == [f"t{i}" for i in range(5)]
+
+
+def test_cut_by_timeout_for_partial_batch():
+    context = make_context()
+    service = make_solo(context, batch_size=100, batch_timeout=1.0)
+    client = Sink(context, "client0")
+    subscriber = Sink(context, "peersub")
+    envelopes = [make_envelope("t0"), make_envelope("t1")]
+    drive(service, context, envelopes, client, subscriber)
+    assert len(subscriber.blocks) == 1
+    assert len(subscriber.blocks[0]) == 2
+    # The cut must have happened ~BatchTimeout after the first envelope.
+    assert subscriber.blocks[0].metadata.cut_at == pytest.approx(3.0,
+                                                                 abs=0.2)
+
+
+def test_blocks_are_hash_chained_and_signed():
+    context = make_context()
+    service = make_solo(context, batch_size=2)
+    client = Sink(context, "client0")
+    subscriber = Sink(context, "peersub")
+    envelopes = [make_envelope(f"t{i}") for i in range(6)]
+    drive(service, context, envelopes, client, subscriber)
+    blocks = subscriber.blocks
+    assert [block.number for block in blocks] == [1, 2, 3]
+    for previous, current in zip(blocks, blocks[1:]):
+        assert current.previous_hash == previous.header_hash()
+    for block in blocks:
+        assert block.metadata.signature is not None
+        assert block.metadata.orderer == service.nodes[0].name
+
+
+def test_client_acked_once_ordered():
+    context = make_context()
+    service = make_solo(context, batch_size=2)
+    client = Sink(context, "client0")
+    envelopes = [make_envelope("t0"), make_envelope("t1")]
+    drive(service, context, envelopes, client)
+    assert sorted(client.acks) == ["t0", "t1"]
+
+
+def test_wrong_channel_envelope_nacked():
+    context = make_context()
+    service = make_solo(context)
+    client = Sink(context, "client0")
+    envelopes = [make_envelope("bad", channel="otherchannel")]
+    drive(service, context, envelopes, client)
+    assert client.acks == []
+    assert len(client.nacks) == 1
+    assert client.nacks[0]["reason"] == "bad channel"
+
+
+def test_multiple_subscribers_each_get_blocks():
+    context = make_context()
+    service = make_solo(context, batch_size=2)
+    client = Sink(context, "client0")
+    sub1 = Sink(context, "sub1")
+    sub2 = Sink(context, "sub2")
+    sub2.start()
+
+    def late_subscribe():
+        yield context.sim.timeout(1.0)
+        sub2.send(service.nodes[0].name, "deliver_subscribe", {})
+
+    context.sim.process(late_subscribe())
+    envelopes = [make_envelope(f"t{i}") for i in range(4)]
+    drive(service, context, envelopes, client, sub1)
+    assert len(sub1.blocks) == 2
+    assert len(sub2.blocks) == 2
+
+
+def test_timeout_timer_does_not_cut_empty_batches():
+    context = make_context()
+    service = make_solo(context, batch_size=2, batch_timeout=0.5)
+    client = Sink(context, "client0")
+    subscriber = Sink(context, "peersub")
+    # Exactly one full batch: the timer armed by t0 must not fire a second
+    # (empty) block after the size-based cut.
+    envelopes = [make_envelope("t0"), make_envelope("t1")]
+    drive(service, context, envelopes, client, subscriber,
+          run_until=20.0)
+    assert len(subscriber.blocks) == 1
+
+
+def test_throughput_counting_via_metrics():
+    context = make_context()
+    service = make_solo(context, batch_size=10)
+    client = Sink(context, "client0")
+    envelopes = [make_envelope(f"t{i}") for i in range(30)]
+    drive(service, context, envelopes, client)
+    cuts = context.metrics.block_cuts
+    assert len(cuts) == 3
+    assert all(size == 10 for _t, size, _osn in cuts)

@@ -1,0 +1,106 @@
+"""Shared fixtures for peer tests."""
+
+from __future__ import annotations
+
+from repro.chaincode import (
+    KVStoreChaincode,
+    MoneyTransferChaincode,
+    NoopChaincode,
+)
+from repro.chaincode.policy import EndorsementPolicy, resolve_policy_spec
+from repro.common.types import (
+    Endorsement,
+    KVRead,
+    KVWrite,
+    ProposalResponse,
+    TransactionEnvelope,
+    TxReadWriteSet,
+)
+from repro.msp import MSP, CertificateAuthority, Role
+from repro.peer.peer import PeerNode
+from repro.runtime.context import NetworkContext
+
+CHANNEL = "mychannel"
+
+
+class PeerRig:
+    """A CA, an MSP, and a set of joined peers inside one simulation."""
+
+    def __init__(self, num_peers: int = 3, policy_spec: str = "OR(1..n)",
+                 seed: int = 9) -> None:
+        self.context = NetworkContext.create(seed=seed)
+        self.ca = CertificateAuthority("Org1")
+        self.msp = MSP([self.ca])
+        self.peers: list[PeerNode] = []
+        names = [f"peer{i}" for i in range(num_peers)]
+        self.policy: EndorsementPolicy = resolve_policy_spec(
+            policy_spec, names)
+        for name in names:
+            identity = self.ca.enroll(name, Role.PEER)
+            peer = PeerNode(self.context, identity, self.msp)
+            peer.install_chaincode(NoopChaincode())
+            peer.install_chaincode(KVStoreChaincode())
+            peer.install_chaincode(MoneyTransferChaincode())
+            peer.join_channel(CHANNEL, self.policy)
+            peer.start()
+            self.peers.append(peer)
+        self.client_identity = self.ca.enroll("client0", Role.CLIENT)
+        self.msp.grant_channel_writer(CHANNEL, "client0")
+
+    @property
+    def sim(self):
+        return self.context.sim
+
+    def endorse_sync(self, peer: PeerNode, proposal, signature=None):
+        """Run one endorsement to completion; returns the response."""
+        if signature is None:
+            signature = self.client_identity.sign(proposal.bytes_to_sign())
+        process = self.sim.process(
+            peer.endorser.endorse(proposal, signature))
+        return self.sim.run(until=process)
+
+    def make_envelope(self, tx_id: str, rwset: TxReadWriteSet,
+                      endorser_peers: list[PeerNode],
+                      status: int = 200) -> TransactionEnvelope:
+        """A correctly signed envelope endorsed by ``endorser_peers``."""
+        endorsements = []
+        response_bytes = b""
+        for peer in endorser_peers:
+            response = ProposalResponse(
+                tx_id=tx_id, endorser=peer.name, status=status,
+                payload=b"ok", rwset=rwset, endorsement=None)
+            response_bytes = response.response_bytes()
+            endorsements.append(Endorsement(
+                endorser=peer.name, msp_id=peer.identity.msp_id,
+                signature=peer.identity.sign(response_bytes)))
+        return TransactionEnvelope(
+            tx_id=tx_id, channel=CHANNEL, chaincode="noop",
+            creator="client0", rwset=rwset,
+            endorsements=tuple(endorsements),
+            response_bytes=response_bytes)
+
+
+def write_rwset(key: str, value: bytes = b"v",
+                read_version=None) -> TxReadWriteSet:
+    return TxReadWriteSet(reads=(KVRead(key, read_version),),
+                          writes=(KVWrite(key, value),))
+
+
+def make_signed_block(rig: PeerRig, peer: PeerNode, envelopes,
+                      number: int | None = None,
+                      signer_name: str = "osn0"):
+    """A block signed by an orderer identity enrolled with the rig's CA."""
+    from repro.common.types import Block
+
+    authority = rig.ca
+    if authority.certificate_of(signer_name) is None:
+        authority.enroll(signer_name, Role.ORDERER)
+    ledger = peer.ledger
+    block = Block(
+        number=number if number is not None else ledger.height,
+        previous_hash=ledger.blocks.last_block.header_hash(),
+        transactions=tuple(envelopes), channel=CHANNEL)
+    block.metadata.orderer = signer_name
+    block.metadata.signature = authority.crypto.sign(
+        signer_name, block.header_bytes())
+    return block

@@ -1,0 +1,69 @@
+"""Tests for leader-peer gossip block dissemination."""
+
+from tests.peer.helpers import PeerRig, make_signed_block, write_rwset
+
+
+def test_leader_forwards_orderer_blocks_to_neighbours():
+    rig = PeerRig(num_peers=3)
+    leader = rig.peers[0]
+    leader.gossip.is_leader = True
+    leader.gossip.set_neighbours([peer.name for peer in rig.peers])
+    envelope = rig.make_envelope("t1", write_rwset("k"), [rig.peers[0]])
+    block = make_signed_block(rig, leader, [envelope])
+    # Deliver as if from the orderer.
+    from repro.sim.network import Message
+
+    rig.context.network.add_node("osn0")
+    rig.context.network.send(
+        Message("osn0", leader.name, "block", block,
+                size=block.wire_size()))
+    rig.sim.run()
+    # Every peer committed via gossip.
+    for peer in rig.peers:
+        assert peer.ledger.height == 2
+    assert leader.gossip.blocks_forwarded == 2
+
+
+def test_non_leader_does_not_forward():
+    rig = PeerRig(num_peers=2)
+    follower = rig.peers[1]
+    follower.gossip.set_neighbours([peer.name for peer in rig.peers])
+    envelope = rig.make_envelope("t1", write_rwset("k"), [rig.peers[0]])
+    block = make_signed_block(rig, follower, [envelope])
+    from repro.sim.network import Message
+
+    rig.context.network.add_node("osn0")
+    rig.context.network.send(
+        Message("osn0", follower.name, "block", block,
+                size=block.wire_size()))
+    rig.sim.run()
+    assert follower.gossip.blocks_forwarded == 0
+    assert rig.peers[0].ledger.height == 1  # never received it
+
+
+def test_gossiped_blocks_not_reforwarded():
+    # Gossip forwarding happens only for orderer-delivered blocks, so a
+    # gossip loop cannot form even with symmetric neighbour sets.
+    rig = PeerRig(num_peers=2)
+    for peer in rig.peers:
+        peer.gossip.is_leader = True
+        peer.gossip.set_neighbours([p.name for p in rig.peers])
+    envelope = rig.make_envelope("t1", write_rwset("k"), [rig.peers[0]])
+    block = make_signed_block(rig, rig.peers[0], [envelope])
+    from repro.sim.network import Message
+
+    rig.context.network.add_node("osn0")
+    rig.context.network.send(
+        Message("osn0", rig.peers[0].name, "block", block,
+                size=block.wire_size()))
+    rig.sim.run()
+    assert rig.peers[0].gossip.blocks_forwarded == 1
+    assert rig.peers[1].gossip.blocks_forwarded == 0
+    assert rig.peers[1].ledger.height == 2
+
+
+def test_set_neighbours_excludes_self():
+    rig = PeerRig(num_peers=2)
+    peer = rig.peers[0]
+    peer.gossip.set_neighbours(["peer0", "peer1"])
+    assert peer.gossip.neighbours == ["peer1"]

@@ -1,0 +1,72 @@
+"""Property-based tests for block cutting determinism and conservation."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.common.config import OrdererConfig
+from repro.orderer.blockcutter import BlockCutter
+from tests.orderer.helpers import make_envelope
+
+
+@st.composite
+def cutter_inputs(draw):
+    batch_size = draw(st.integers(min_value=1, max_value=20))
+    # A stream of envelopes interleaved with forced cuts (timeout path).
+    operations = draw(st.lists(
+        st.one_of(st.integers(min_value=0, max_value=10 ** 6),
+                  st.just("cut")),
+        min_size=1, max_size=60))
+    return batch_size, operations
+
+
+@given(cutter_inputs())
+@settings(max_examples=150, deadline=None)
+def test_no_envelope_lost_or_duplicated(case):
+    batch_size, operations = case
+    cutter = BlockCutter(OrdererConfig(batch_size=batch_size))
+    fed, emitted = [], []
+    for index, operation in enumerate(operations):
+        if operation == "cut":
+            emitted.extend(cutter.cut())
+        else:
+            envelope = make_envelope(f"t{index}-{operation}")
+            fed.append(envelope)
+            for batch in cutter.add(envelope):
+                emitted.extend(batch)
+    emitted.extend(cutter.cut())
+    assert [e.tx_id for e in emitted] == [e.tx_id for e in fed]
+
+
+@given(cutter_inputs())
+@settings(max_examples=150, deadline=None)
+def test_batches_never_exceed_batch_size(case):
+    batch_size, operations = case
+    cutter = BlockCutter(OrdererConfig(batch_size=batch_size))
+    for index, operation in enumerate(operations):
+        if operation == "cut":
+            batch = cutter.cut()
+            assert len(batch) <= batch_size
+        else:
+            for batch in cutter.add(make_envelope(f"t{index}")):
+                assert len(batch) == batch_size
+    assert cutter.pending_count < batch_size
+
+
+@given(cutter_inputs())
+@settings(max_examples=100, deadline=None)
+def test_two_cutters_same_stream_identical_blocks(case):
+    batch_size, operations = case
+    first = BlockCutter(OrdererConfig(batch_size=batch_size))
+    second = BlockCutter(OrdererConfig(batch_size=batch_size))
+    cuts_first, cuts_second = [], []
+    for index, operation in enumerate(operations):
+        if operation == "cut":
+            cuts_first.append(tuple(e.tx_id for e in first.cut()))
+            cuts_second.append(tuple(e.tx_id for e in second.cut()))
+        else:
+            envelope = make_envelope(f"t{index}")
+            for batch in first.add(envelope):
+                cuts_first.append(tuple(e.tx_id for e in batch))
+            for batch in second.add(envelope):
+                cuts_second.append(tuple(e.tx_id for e in batch))
+    assert cuts_first == cuts_second

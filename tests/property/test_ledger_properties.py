@@ -1,0 +1,121 @@
+"""Property-based tests for ledger invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.common.types import (
+    Block,
+    KVRead,
+    KVWrite,
+    TransactionEnvelope,
+    TxReadWriteSet,
+    ValidationCode,
+)
+from repro.ledger import Ledger
+from repro.peer.validator import check_mvcc
+
+KEYS = [f"k{i}" for i in range(6)]
+
+
+@st.composite
+def envelopes(draw, tx_id):
+    read_keys = draw(st.lists(st.sampled_from(KEYS), max_size=3,
+                              unique=True))
+    write_keys = draw(st.lists(st.sampled_from(KEYS), min_size=1,
+                               max_size=3, unique=True))
+    # Reads at version None model "simulated against an empty state".
+    rwset = TxReadWriteSet(
+        reads=tuple(KVRead(key, None) for key in sorted(read_keys)),
+        writes=tuple(KVWrite(key, draw(st.binary(min_size=1, max_size=4)))
+                     for key in sorted(write_keys)))
+    return TransactionEnvelope(
+        tx_id=tx_id, channel="ch", chaincode="cc", creator="client",
+        rwset=rwset, endorsements=(), response_bytes=b"r")
+
+
+@st.composite
+def blocks_of_txs(draw):
+    count = draw(st.integers(min_value=1, max_value=6))
+    return [draw(envelopes(f"tx{draw(st.integers(0, 10 ** 9))}-{i}"))
+            for i in range(count)]
+
+
+@given(st.lists(blocks_of_txs(), min_size=1, max_size=5))
+@settings(max_examples=60, deadline=None)
+def test_chain_always_verifies_and_state_matches_valid_writes(batches):
+    ledger = Ledger("ch")
+    expected_state: dict[str, bytes] = {}
+    seen_tx_ids: set[str] = set()
+    for batch in batches:
+        block = Block(number=ledger.height,
+                      previous_hash=ledger.blocks.last_block.header_hash(),
+                      transactions=tuple(batch), channel="ch")
+        vscc_flags = [ValidationCode.VALID] * len(batch)
+        flags = check_mvcc(ledger, block, vscc_flags)
+        block.metadata.validation_flags = flags
+        ledger.commit_block(block)
+        for envelope, flag in zip(batch, flags):
+            seen_tx_ids.add(envelope.tx_id)
+            if flag is ValidationCode.VALID:
+                for write in envelope.rwset.writes:
+                    expected_state[write.key] = write.value
+
+    # Invariant 1: the hash chain verifies end to end.
+    assert ledger.blocks.verify_chain()
+    # Invariant 2: world state equals the replay of valid writes.
+    actual = {key: ledger.state.get(key).value
+              for key in ledger.state.keys()}
+    assert actual == expected_state
+    # Invariant 3: every transaction is on-chain exactly once.
+    for tx_id in seen_tx_ids:
+        assert ledger.has_transaction(tx_id)
+    # Invariant 4: valid + invalid == total committed.
+    total = sum(len(block) for block in ledger.blocks) - 0
+    assert ledger.valid_tx_count + ledger.invalid_tx_count == total
+
+
+@given(st.lists(blocks_of_txs(), min_size=1, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_mvcc_serializability_valid_txs_form_conflict_free_schedule(batches):
+    """Within any block, valid transactions never read a key written by an
+    earlier valid transaction of the same block, and never read stale
+    versions — i.e. applying them in order equals applying them at their
+    read snapshots (one-copy serializability for this simple model)."""
+    ledger = Ledger("ch")
+    for batch in batches:
+        block = Block(number=ledger.height,
+                      previous_hash=ledger.blocks.last_block.header_hash(),
+                      transactions=tuple(batch), channel="ch")
+        flags = check_mvcc(ledger, block,
+                           [ValidationCode.VALID] * len(batch))
+        written_by_earlier_valid: set[str] = set()
+        for envelope, flag in zip(batch, flags):
+            if flag is ValidationCode.VALID:
+                for read in envelope.rwset.reads:
+                    assert read.key not in written_by_earlier_valid
+                    assert (ledger.state.get_version(read.key)
+                            == read.version)
+                written_by_earlier_valid |= set(envelope.rwset.write_keys)
+        block.metadata.validation_flags = flags
+        ledger.commit_block(block)
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_versions_are_monotone_per_key(data):
+    ledger = Ledger("ch")
+    last_version: dict[str, tuple] = {}
+    for block_round in range(data.draw(st.integers(1, 4))):
+        batch = data.draw(blocks_of_txs())
+        block = Block(number=ledger.height,
+                      previous_hash=ledger.blocks.last_block.header_hash(),
+                      transactions=tuple(batch), channel="ch")
+        flags = check_mvcc(ledger, block,
+                           [ValidationCode.VALID] * len(batch))
+        block.metadata.validation_flags = flags
+        ledger.commit_block(block)
+        for key in ledger.state.keys():
+            version = ledger.state.get_version(key)
+            if key in last_version:
+                assert version >= last_version[key]
+            last_version[key] = version

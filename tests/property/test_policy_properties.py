@@ -1,0 +1,94 @@
+"""Property-based tests for the endorsement-policy language."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.chaincode.policy import (
+    And,
+    EndorsementPolicy,
+    Or,
+    OutOf,
+    Principal,
+    parse_policy,
+)
+
+NAMES = [f"p{i}" for i in range(8)]
+
+
+def policies(max_depth: int = 3) -> st.SearchStrategy[EndorsementPolicy]:
+    base = st.sampled_from(NAMES).map(Principal)
+
+    def extend(children: st.SearchStrategy) -> st.SearchStrategy:
+        lists = st.lists(children, min_size=1, max_size=4)
+        composite = st.one_of(
+            lists.map(And),
+            lists.map(Or),
+            st.tuples(lists, st.integers(min_value=1, max_value=4)).map(
+                lambda pair: OutOf(min(pair[1], len(pair[0])), pair[0])))
+        return composite
+
+    return st.recursive(base, extend, max_leaves=12)
+
+
+@given(policies())
+@settings(max_examples=200)
+def test_spec_roundtrip(policy):
+    """to_spec() -> parse_policy() is the identity (by spec equality)."""
+    assert parse_policy(policy.to_spec()) == policy
+
+
+@given(policies())
+@settings(max_examples=200)
+def test_full_principal_set_always_satisfies(policy):
+    assert policy.evaluate(policy.principals())
+
+
+@given(policies())
+@settings(max_examples=200)
+def test_empty_set_never_satisfies(policy):
+    assert not policy.evaluate(set())
+
+
+@given(policies(), st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=200)
+def test_selected_targets_satisfy_policy(policy, chooser_seed):
+    """Any chooser produces a target set that satisfies the policy."""
+    state = {"value": chooser_seed}
+
+    def chooser(options: int) -> int:
+        state["value"] = (state["value"] * 1103515245 + 12345) % (2 ** 31)
+        return state["value"] % options
+
+    targets = policy.select_targets(chooser)
+    assert targets <= policy.principals()
+    assert policy.evaluate(targets)
+
+
+@given(policies(), st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=100)
+def test_target_count_within_min_max_bounds(policy, chooser_seed):
+    state = {"value": chooser_seed}
+
+    def chooser(options: int) -> int:
+        state["value"] = (state["value"] * 48271) % (2 ** 31 - 1)
+        return state["value"] % options
+
+    targets = policy.select_targets(chooser)
+    # select_targets returns a set, so overlapping branches can shrink it
+    # below min_required; it can never exceed max_required.
+    assert len(targets) <= policy.max_required()
+    assert len(targets) >= 1
+
+
+@given(policies(), st.sets(st.sampled_from(NAMES)))
+@settings(max_examples=200)
+def test_monotonicity_adding_endorsers_never_breaks(policy, endorsers):
+    """If a set satisfies the policy, every superset does too."""
+    if policy.evaluate(endorsers):
+        assert policy.evaluate(endorsers | set(NAMES))
+
+
+@given(policies())
+@settings(max_examples=100)
+def test_min_required_is_at_most_max_required(policy):
+    assert 1 <= policy.min_required() <= policy.max_required()

@@ -1,0 +1,102 @@
+"""Edge-case tests for event primitives."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Simulation
+from repro.sim.events import ConditionValue
+
+
+def test_event_repr_states():
+    sim = Simulation()
+    event = sim.event()
+    assert "pending" in repr(event)
+    event.succeed()
+    assert "triggered" in repr(event)
+    sim.run()
+    assert "processed" in repr(event)
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulation()
+    event = sim.event()
+    with pytest.raises(RuntimeError):
+        _ = event.value
+    with pytest.raises(RuntimeError):
+        _ = event.ok
+
+
+def test_condition_value_accessors():
+    sim = Simulation()
+    first = sim.timeout(1, value="a")
+    second = sim.timeout(2, value="b")
+
+    def proc(sim):
+        result = yield sim.all_of([first, second])
+        return result
+
+    result = sim.run(until=sim.process(proc(sim)))
+    assert isinstance(result, ConditionValue)
+    assert len(result) == 2
+    assert result[first] == "a"
+    assert result[second] == "b"
+    with pytest.raises(KeyError):
+        _ = result[sim.event()]
+    assert "2 events" in repr(result)
+
+
+def test_any_of_empty_fires_immediately():
+    sim = Simulation()
+
+    def proc(sim):
+        yield sim.any_of([])
+        return sim.now
+
+    assert sim.run(until=sim.process(proc(sim))) == 0
+
+
+def test_any_of_failure_propagates():
+    sim = Simulation()
+
+    def failing(sim):
+        yield sim.timeout(1)
+        raise ValueError("inner")
+
+    def proc(sim):
+        try:
+            yield sim.any_of([sim.process(failing(sim)), sim.timeout(10)])
+        except ValueError as error:
+            return str(error)
+
+    assert sim.run(until=sim.process(proc(sim))) == "inner"
+
+
+def test_condition_over_foreign_simulation_rejected():
+    sim_a = Simulation()
+    sim_b = Simulation()
+    foreign = sim_b.timeout(1)
+    with pytest.raises(ValueError):
+        AnyOf(sim_a, [foreign])
+
+
+def test_all_of_with_already_processed_events():
+    sim = Simulation()
+    early = sim.timeout(1, value="early")
+    sim.run(until=2.0)
+
+    def proc(sim):
+        result = yield sim.all_of([early, sim.timeout(1, value="late")])
+        return result[early]
+
+    assert sim.run(until=sim.process(proc(sim))) == "early"
+
+
+def test_condition_result_order_is_firing_order():
+    sim = Simulation()
+    slow = sim.timeout(2, value="slow")
+    fast = sim.timeout(1, value="fast")
+
+    def proc(sim):
+        result = yield sim.all_of([slow, fast])
+        return [event.value for event in result.events]
+
+    assert sim.run(until=sim.process(proc(sim))) == ["fast", "slow"]

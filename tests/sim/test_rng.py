@@ -1,0 +1,51 @@
+"""Tests for named random streams."""
+
+from repro.sim import RngRegistry
+
+
+def test_same_name_same_stream():
+    registry = RngRegistry(seed=1)
+    assert registry.stream("x") is registry.stream("x")
+
+
+def test_streams_are_independent_of_consumption_order():
+    first = RngRegistry(seed=1)
+    a_then_b = (first.stream("a").random(), first.stream("b").random())
+
+    second = RngRegistry(seed=1)
+    b_then_a = (second.stream("b").random(), second.stream("a").random())
+
+    assert a_then_b[0] == b_then_a[1]
+    assert a_then_b[1] == b_then_a[0]
+
+
+def test_different_seeds_differ():
+    assert (RngRegistry(seed=1).stream("x").random()
+            != RngRegistry(seed=2).stream("x").random())
+
+
+def test_different_names_differ():
+    registry = RngRegistry(seed=1)
+    assert registry.stream("x").random() != registry.stream("y").random()
+
+
+def test_jittered_bounds():
+    registry = RngRegistry(seed=3)
+    for _ in range(100):
+        value = registry.jittered("j", mean=10.0, jitter=0.2)
+        assert 8.0 <= value <= 12.0
+
+
+def test_jittered_zero_jitter_is_exact():
+    assert RngRegistry(seed=0).jittered("j", 5.0, 0.0) == 5.0
+
+
+def test_exponential_mean_roughly_correct():
+    registry = RngRegistry(seed=4)
+    draws = [registry.exponential("e", 2.0) for _ in range(5000)]
+    mean = sum(draws) / len(draws)
+    assert 1.85 < mean < 2.15
+
+
+def test_exponential_nonpositive_mean_is_zero():
+    assert RngRegistry(seed=0).exponential("e", 0.0) == 0.0
