@@ -81,53 +81,63 @@ class ClientNode(NodeBase):
         self.submitted += 1
 
         # --- Execute phase -------------------------------------------------
-        yield from self.cpu.use(self.costs.client_prep_cpu)
-        if self.costs.sdk_base_latency > 0:
-            yield self.sim.timeout(self.costs.sdk_base_latency)
-        targets = sorted(self.policy.select_targets(self._choose))
-        if not targets:
-            metrics.tx_rejected(tx_id, "no endorsers")
-            self.rejected += 1
-            return tx_id, "no endorsers"
-        signature = self.identity.sign(proposal.bytes_to_sign())
-        responses = yield from self._gather_endorsements(
-            proposal, signature, targets)
-        good = [r for r in responses if r.ok]
-        failure = self._endorsement_failure(good, targets, responses)
-        if failure is not None:
-            metrics.tx_rejected(tx_id, failure)
-            self.rejected += 1
-            return tx_id, failure
-        metrics.tx_endorsed(tx_id)
+        with self.tracer.span("client.execute", category="execute",
+                              node=self.name, tx_id=tx_id) as span:
+            yield from self.cpu.use(self.costs.client_prep_cpu)
+            if self.costs.sdk_base_latency > 0:
+                yield self.sim.timeout(self.costs.sdk_base_latency)
+            targets = sorted(self.policy.select_targets(self._choose))
+            if not targets:
+                metrics.tx_rejected(tx_id, "no endorsers")
+                self.rejected += 1
+                span.annotate(outcome="no endorsers")
+                return tx_id, "no endorsers"
+            signature = self.identity.sign(proposal.bytes_to_sign())
+            responses = yield from self._gather_endorsements(
+                proposal, signature, targets)
+            good = [r for r in responses if r.ok]
+            failure = self._endorsement_failure(good, targets, responses)
+            if failure is not None:
+                metrics.tx_rejected(tx_id, failure)
+                self.rejected += 1
+                span.annotate(outcome=failure)
+                return tx_id, failure
+            metrics.tx_endorsed(tx_id)
 
         # --- Order phase ---------------------------------------------------
-        yield from self.cpu.use(self.costs.client_submit_cpu)
-        envelope = TransactionEnvelope(
-            tx_id=tx_id, channel=self.channel, chaincode=chaincode,
-            creator=self.name, rwset=good[0].rwset,
-            endorsements=tuple(r.endorsement for r in good),
-            response_bytes=good[0].response_bytes(), tx_size=tx_size,
-            submitted_at=self.sim.now)
-        commit_event = self.sim.event()
-        self._commit_waiters[tx_id] = commit_event
-        self.send(self.anchor_peer, "register_listener", {"tx_id": tx_id})
-        self.send(self.orderer, "broadcast", envelope,
-                  size=envelope.wire_size())
-        metrics.tx_broadcast(tx_id)
+        with self.tracer.span("client.order_wait", category="order",
+                              node=self.name, tx_id=tx_id) as span:
+            yield from self.cpu.use(self.costs.client_submit_cpu)
+            envelope = TransactionEnvelope(
+                tx_id=tx_id, channel=self.channel, chaincode=chaincode,
+                creator=self.name, rwset=good[0].rwset,
+                endorsements=tuple(r.endorsement for r in good),
+                response_bytes=good[0].response_bytes(), tx_size=tx_size,
+                submitted_at=self.sim.now)
+            commit_event = self.sim.event()
+            self._commit_waiters[tx_id] = commit_event
+            self.send(self.anchor_peer, "register_listener",
+                      {"tx_id": tx_id})
+            self.send(self.orderer, "broadcast", envelope,
+                      size=envelope.wire_size())
+            metrics.tx_broadcast(tx_id)
 
-        # --- Wait for commit (or the 3-second ordering timeout) ------------
-        deadline = self.sim.timeout(self.ordering_timeout)
-        result = yield self.sim.any_of([commit_event, deadline])
-        self._commit_waiters.pop(tx_id, None)
-        if commit_event not in result:
-            metrics.tx_rejected(tx_id, "ordering timeout")
-            self.rejected += 1
-            return tx_id, "ordering timeout"
-        code: ValidationCode = commit_event.value
-        if code is ValidationCode.VALID:
-            self.committed += 1
-            return tx_id, "committed"
-        return tx_id, "invalid"
+            # --- Wait for commit (or the 3-second ordering timeout) --------
+            deadline = self.sim.timeout(self.ordering_timeout)
+            result = yield self.sim.any_of([commit_event, deadline])
+            self._commit_waiters.pop(tx_id, None)
+            if commit_event not in result:
+                metrics.tx_rejected(tx_id, "ordering timeout")
+                self.rejected += 1
+                span.annotate(outcome="ordering timeout")
+                return tx_id, "ordering timeout"
+            code: ValidationCode = commit_event.value
+            if code is ValidationCode.VALID:
+                self.committed += 1
+                span.annotate(outcome="committed")
+                return tx_id, "committed"
+            span.annotate(outcome="invalid")
+            return tx_id, "invalid"
 
     def _choose(self, options: int) -> int:
         """OR-branch chooser: round-robin across alternatives."""

@@ -25,6 +25,29 @@ EXPERIMENT_IDS = ["tab1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
                   "tab2", "tab3", "fig8"]
 
 
+def _run_trace(args) -> int:
+    """The ``trace`` subcommand: one observed run + bottleneck report."""
+    from repro.experiments.report import bottleneck_result
+    from repro.experiments.runner import run_traced_point
+
+    point = run_traced_point(
+        orderer_kind=args.orderer, policy=args.policy, rate=args.rate,
+        duration=args.duration, seed=args.seed,
+        sample_interval=args.sample_interval)
+    title = (f"Bottleneck attribution ({args.orderer}, {args.policy}, "
+             f"{args.rate:g} tx/s)")
+    result = bottleneck_result(point.report, title=title, top=args.top)
+    print(result.render())
+    print()
+    print(f"throughput: {point.throughput:.1f} tx/s committed "
+          f"(offered {args.rate:g} tx/s)")
+    if args.trace_out:
+        point.write_chrome_trace(args.trace_out)
+        print(f"chrome trace written to {args.trace_out} "
+              f"(open in https://ui.perfetto.dev)")
+    return 0
+
+
 def _results_for(experiment_id: str, mode: str, seed: int):
     if experiment_id == "tab1":
         return [run_table1()]
@@ -51,16 +74,39 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         description="Regenerate the tables and figures of Wang & Chu, "
                     "'Performance Characterization and Bottleneck Analysis "
                     "of Hyperledger Fabric' (ICDCS 2020).")
-    parser.add_argument("experiment", choices=EXPERIMENT_IDS + ["all"],
-                        help="which artifact to regenerate")
+    parser.add_argument("experiment",
+                        choices=EXPERIMENT_IDS + ["all", "trace"],
+                        help="which artifact to regenerate, or 'trace' for "
+                             "an observed run with bottleneck attribution")
     parser.add_argument("--full", action="store_true",
                         help="run the paper-scale sweep (slower)")
     parser.add_argument("--seed", type=int, default=1,
                         help="simulation seed (default 1)")
     parser.add_argument("--plot", action="store_true",
                         help="render figure-shaped ASCII charts as well")
+    trace_group = parser.add_argument_group(
+        "trace options", "only used with the 'trace' experiment")
+    trace_group.add_argument("--orderer", default="solo",
+                             choices=["solo", "kafka", "raft"],
+                             help="ordering service kind (default solo)")
+    trace_group.add_argument("--policy", default="AND5",
+                             help="endorsement policy (default AND5)")
+    trace_group.add_argument("--rate", type=float, default=250.0,
+                             help="offered load in tx/s (default 250, past "
+                                  "the AND5 validate capacity)")
+    trace_group.add_argument("--duration", type=float, default=15.0,
+                             help="workload duration in simulated seconds")
+    trace_group.add_argument("--sample-interval", type=float, default=0.05,
+                             help="utilization sampling period (seconds)")
+    trace_group.add_argument("--top", type=int, default=12,
+                             help="resources to list in the report")
+    trace_group.add_argument("--trace-out", default=None, metavar="PATH",
+                             help="write a Chrome trace_event JSON file "
+                                  "(view in Perfetto / chrome://tracing)")
     args = parser.parse_args(argv)
 
+    if args.experiment == "trace":
+        return _run_trace(args)
     mode = "full" if args.full else "quick"
     if args.experiment == "all":
         # Run paired experiments once each.

@@ -10,13 +10,21 @@ from repro.common.config import (
     TopologyConfig,
     WorkloadConfig,
 )
+from repro.fabric.network import FabricNetwork
 from repro.fabric.run import run_experiment
 from repro.metrics.collector import PhaseMetrics
+from repro.obs import BottleneckReport
 
 #: Paper defaults for figures 2-7: 10 endorsing peers; AND means AND5.
 DEFAULT_PEERS = 10
 OR_POLICY = "OR10"
 AND_POLICY = "AND5"
+
+#: Default arrival rate for traced runs: past the AND5 validate-phase
+#: capacity (~210-240 tps) but below what the ten workload clients can
+#: generate, so the saturated resource is the validator pool rather than
+#: the load generators themselves.
+TRACE_RATE = 250.0
 
 
 @dataclasses.dataclass
@@ -71,6 +79,51 @@ def run_point(orderer_kind: str, policy: str, rate: float,
     metrics = run_experiment(topology, workload, seed=seed)
     return SweepPoint(orderer_kind=orderer_kind, policy=policy, peers=peers,
                       rate=rate, metrics=metrics)
+
+
+@dataclasses.dataclass
+class TracedPoint:
+    """One observed measurement: metrics plus bottleneck attribution."""
+
+    orderer_kind: str
+    policy: str
+    peers: int
+    rate: float
+    metrics: PhaseMetrics
+    report: BottleneckReport
+    network: FabricNetwork
+
+    @property
+    def throughput(self) -> float:
+        return self.metrics.overall_throughput
+
+    def write_chrome_trace(self, path: str) -> None:
+        """Dump the run's span trace as Chrome ``trace_event`` JSON."""
+        self.network.obs.write_chrome_trace(path)
+
+
+def run_traced_point(orderer_kind: str = "solo",
+                     policy: str = AND_POLICY,
+                     rate: float = TRACE_RATE,
+                     peers: int = DEFAULT_PEERS,
+                     duration: float = 15.0, seed: int = 1,
+                     sample_interval: float = 0.05,
+                     **topology_kwargs) -> TracedPoint:
+    """Run one measurement point with span tracing and sampling enabled.
+
+    The defaults reproduce the paper's Fig. 5 bottleneck: a Solo network
+    under the AND5 policy driven past the validate phase's capacity, where
+    the report names the validator worker pool as the saturated resource.
+    """
+    topology = make_topology(orderer_kind, policy, peers, **topology_kwargs)
+    workload = make_workload(rate, duration)
+    network = FabricNetwork(topology, workload, seed=seed, observe=True,
+                            sample_interval=sample_interval)
+    metrics = network.run_workload()
+    report = network.bottleneck_report()
+    return TracedPoint(orderer_kind=orderer_kind, policy=policy,
+                       peers=peers, rate=rate, metrics=metrics,
+                       report=report, network=network)
 
 
 def search_peak(orderer_kind: str, policy: str, peers: int,

@@ -22,6 +22,7 @@ from repro.client.workload import WorkloadGenerator
 from repro.common.config import TopologyConfig, WorkloadConfig
 from repro.common.errors import ConfigurationError
 from repro.msp import MSP, CertificateAuthority, Role
+from repro.obs import Observability
 from repro.orderer import OrderingService, build_ordering_service
 from repro.peer.peer import PeerNode
 from repro.runtime.context import NetworkContext
@@ -37,7 +38,9 @@ class FabricNetwork:
     def __init__(self, topology: TopologyConfig,
                  workload: WorkloadConfig | None = None,
                  seed: int = 0, costs: CostModel | None = None,
-                 workload_kind: str = "unique") -> None:
+                 workload_kind: str = "unique",
+                 observe: bool = False,
+                 sample_interval: float = 0.05) -> None:
         topology.validate()
         self.topology = topology
         self.workload_config = workload or WorkloadConfig()
@@ -49,6 +52,13 @@ class FabricNetwork:
             jitter=topology.network_jitter)
         if not topology.tls_enabled:
             self.context.costs.tls_per_message_cpu = 0.0
+        #: Observability layer (tracer + monitors); opt-in and off by
+        #: default so unobserved runs carry zero instrumentation cost.
+        self.obs: Observability | None = None
+        if observe:
+            self.obs = Observability(self.context.sim,
+                                     sample_interval=sample_interval)
+            self.context.tracer = self.obs.tracer
 
         self.ca = CertificateAuthority("Org1")
         self.msp = MSP([self.ca])
@@ -151,6 +161,42 @@ class FabricNetwork:
         self.workload = WorkloadGenerator(
             self.clients, self.workload_config, chaincode=chaincode,
             workload=self._workload_kind)
+        if self.obs is not None:
+            self._attach_observability()
+
+    def _attach_observability(self) -> None:
+        """Register every contended resource with the observability layer.
+
+        Monitors are tagged with the pipeline phase they belong to, which is
+        what :func:`~repro.obs.report.bottleneck_report` uses to attribute a
+        saturated resource back to execute / order / validate.
+        """
+        obs = self.obs
+        network = self.context.network
+        for peer in self.peers:
+            obs.watch_resource(peer.cpu, kind="cpu", phase="peer")
+            obs.watch_resource(peer.disk, kind="disk", phase="validate")
+            if peer.endorser is not None:
+                obs.watch_resource(peer.endorser.slots, kind="pool",
+                                   phase="execute")
+            for channel in peer.channels:
+                validator = peer.validator_for(channel)
+                obs.watch_resource(validator.workers, kind="pool",
+                                   phase="validate")
+        for client in self.clients:
+            obs.watch_resource(client.cpu, kind="cpu", phase="client")
+        for osn in self.orderer.nodes:
+            obs.watch_resource(osn.cpu, kind="cpu", phase="order")
+        for broker in getattr(self.orderer, "brokers", []):
+            obs.watch_resource(broker.cpu, kind="cpu", phase="order")
+        zookeeper = getattr(self.orderer, "zookeeper", None)
+        if zookeeper is not None:
+            for zk in zookeeper.nodes:
+                obs.watch_resource(zk.cpu, kind="cpu", phase="order")
+        for name in network.nodes:
+            obs.watch_resource(network.nic(name), kind="nic",
+                               phase="network")
+            obs.watch_store(network.mailbox(name), phase="network")
 
     # ------------------------------------------------------------------
     # Execution
@@ -177,11 +223,33 @@ class FabricNetwork:
         start_at = self.STABILIZATION
         self.workload.start(at=start_at)
         horizon = start_at + self.workload_config.duration + drain
+        if self.obs is not None:
+            self.obs.start_sampler(until=horizon)
         self.context.sim.run(until=horizon)
+        if self.obs is not None:
+            self.obs.finish()
         window_start = start_at + self.workload_config.warmup
         window_end = (start_at + self.workload_config.duration
                       - self.workload_config.cooldown)
+        #: The measurement window, kept for windowed bottleneck reports.
+        self.last_window = (window_start, window_end)
         return self.context.metrics.aggregate(window_start, window_end)
+
+    def bottleneck_report(self, start: float | None = None,
+                          end: float | None = None):
+        """Bottleneck attribution for an observed run.
+
+        Defaults to the measurement window of the last
+        :meth:`run_workload` call (or the whole run if none completed).
+        Raises :class:`~repro.common.errors.ConfigurationError` when the
+        network was built without ``observe=True``.
+        """
+        if self.obs is None:
+            raise ConfigurationError(
+                "bottleneck_report() needs FabricNetwork(observe=True)")
+        if start is None and end is None:
+            start, end = getattr(self, "last_window", (None, None))
+        return self.obs.report(start, end)
 
     # ------------------------------------------------------------------
     # Introspection helpers (tests, examples)

@@ -17,7 +17,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.common.types import ValidationCode
-from repro.metrics.stats import mean
+from repro.metrics.stats import mean, percentile
 from repro.sim.core import Simulation
 
 
@@ -94,6 +94,11 @@ class PhaseMetrics:
     block_time: float                  # Definition 4.3
     rejected_rate: float
     invalid_rate: float
+    # Tail latency over Definition 4.2 (appended fields: consumers indexing
+    # columns positionally keep working).
+    overall_latency_p50: float = 0.0
+    overall_latency_p95: float = 0.0
+    overall_latency_p99: float = 0.0
 
     def as_dict(self) -> dict[str, float]:
         return dataclasses.asdict(self)
@@ -208,13 +213,23 @@ class MetricsCollector:
         total_latencies = [r.total_latency for r in in_window
                            if r.total_latency is not None]
 
-        cut_times = [t for t, _size, osn in self._block_cuts
-                     if start <= t < end]
-        if len(cut_times) >= 2:
-            block_time = ((cut_times[-1] - cut_times[0])
-                          / (len(cut_times) - 1))
-        else:
-            block_time = 0.0
+        # Definition 4.3 is the inter-block interval *at one orderer*.
+        # Several OSNs may record cuts (e.g. metrics leadership moving after
+        # a crash); pooling their timestamps would interleave two block
+        # streams and halve the apparent block time, so group per OSN and
+        # report the busiest one (ties broken by name for determinism).
+        cuts_by_osn: dict[str, list[float]] = {}
+        for t, _size, osn in self._block_cuts:
+            if start <= t < end:
+                cuts_by_osn.setdefault(osn, []).append(t)
+        block_time = 0.0
+        if cuts_by_osn:
+            leader_cuts = max(
+                cuts_by_osn.items(),
+                key=lambda item: (len(item[1]), item[0]))[1]
+            if len(leader_cuts) >= 2:
+                block_time = ((leader_cuts[-1] - leader_cuts[0])
+                              / (len(leader_cuts) - 1))
 
         return PhaseMetrics(
             window=window,
@@ -231,4 +246,7 @@ class MetricsCollector:
             block_time=block_time,
             rejected_rate=rejected / window,
             invalid_rate=invalid / window,
+            overall_latency_p50=percentile(total_latencies, 50),
+            overall_latency_p95=percentile(total_latencies, 95),
+            overall_latency_p99=percentile(total_latencies, 99),
         )

@@ -63,6 +63,21 @@ def metrics_to_json(metrics: PhaseMetrics) -> str:
     return json.dumps(metrics.as_dict(), indent=1, sort_keys=True)
 
 
+def metrics_to_csv(metrics: PhaseMetrics) -> str:
+    """Windowed aggregates as a one-row CSV.
+
+    Columns follow :class:`PhaseMetrics` field order, so new fields appended
+    to the dataclass append columns here — existing consumers that index
+    early columns keep working.
+    """
+    row = metrics.as_dict()
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(row))
+    writer.writeheader()
+    writer.writerow(row)
+    return buffer.getvalue()
+
+
 def write_traces(collector: MetricsCollector, path: str) -> None:
     """Write the trace to ``path``; format chosen by extension."""
     if path.endswith(".json"):

@@ -5,6 +5,8 @@ from __future__ import annotations
 import math
 import typing
 
+__all__ = ["mean", "percentile", "describe", "StreamingHistogram"]
+
 
 def mean(values: typing.Sequence[float]) -> float:
     """Arithmetic mean; 0.0 for an empty sequence (metrics-friendly)."""
@@ -45,3 +47,123 @@ def describe(values: typing.Sequence[float]) -> dict[str, float]:
         "min": min(values),
         "max": max(values),
     }
+
+
+class StreamingHistogram:
+    """A bounded-memory histogram of non-negative values.
+
+    Values are binned into logarithmically spaced buckets between
+    ``min_value`` and ``max_value`` (values at or below ``min_value`` share
+    an underflow bucket; values above ``max_value`` land in the last
+    bucket).  Count, sum, min, and max are exact; percentiles carry a
+    relative error bounded by one bucket width (~7.5% at the default 32
+    buckets per decade) — precise enough for latency reporting while the
+    memory stays constant no matter how many samples stream through.
+    """
+
+    __slots__ = ("min_value", "buckets_per_decade", "_counts", "_underflow",
+                 "count", "total", "min", "max")
+
+    def __init__(self, min_value: float = 1e-6, max_value: float = 1e5,
+                 buckets_per_decade: int = 32) -> None:
+        if min_value <= 0:
+            raise ValueError(f"min_value must be positive, got {min_value}")
+        if max_value <= min_value:
+            raise ValueError("max_value must exceed min_value")
+        if buckets_per_decade < 1:
+            raise ValueError("need at least one bucket per decade")
+        self.min_value = min_value
+        self.buckets_per_decade = buckets_per_decade
+        decades = math.ceil(math.log10(max_value / min_value))
+        self._counts = [0] * (decades * buckets_per_decade)
+        self._underflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def add(self, value: float) -> None:
+        """Record one sample (negative values are clamped to zero)."""
+        if value < 0:
+            value = 0.0
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= self.min_value:
+            self._underflow += 1
+            return
+        index = int(math.log10(value / self.min_value)
+                    * self.buckets_per_decade)
+        if index >= len(self._counts):
+            index = len(self._counts) - 1
+        self._counts[index] += 1
+
+    def extend(self, values: typing.Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-th percentile (0..100); 0 if empty."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile {q} out of range [0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil((q / 100) * self.count))
+        cumulative = self._underflow
+        if cumulative >= rank:
+            return min(self.min_value, self.max)
+        for index, bucket_count in enumerate(self._counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index == len(self._counts) - 1:
+                    # The top bucket also absorbs overflow samples, so its
+                    # upper edge underestimates: report the observed max.
+                    return self.max
+                # Upper edge of the bucket, clamped to the observed range.
+                edge = self.min_value * 10 ** (
+                    (index + 1) / self.buckets_per_decade)
+                return max(self.min, min(edge, self.max))
+        return self.max
+
+    def merge(self, other: "StreamingHistogram") -> None:
+        """Fold ``other``'s samples into this histogram (same geometry)."""
+        if (other.min_value != self.min_value
+                or other.buckets_per_decade != self.buckets_per_decade
+                or len(other._counts) != len(self._counts)):
+            raise ValueError("cannot merge histograms with different buckets")
+        self._underflow += other._underflow
+        for index, bucket_count in enumerate(other._counts):
+            self._counts[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def describe(self) -> dict[str, float]:
+        """Summary in the same shape as :func:`describe`."""
+        if self.count == 0:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                    "p99": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (f"<StreamingHistogram n={self.count} "
+                f"mean={self.mean:.6g} max={self.max:.6g}>")

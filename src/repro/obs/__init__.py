@@ -1,0 +1,55 @@
+"""Simulation-wide observability: span tracing, resource sampling,
+and automated bottleneck attribution.
+
+The subsystem has three cooperating parts:
+
+- :mod:`repro.obs.tracer` — hierarchical span tracing on the simulated
+  clock, exportable as Chrome/Perfetto ``trace_event`` JSON;
+- :mod:`repro.obs.sampler` — named resource monitors recording
+  time-weighted utilization, queue depth, and wait-time distributions,
+  checkpointed by a sampler process;
+- :mod:`repro.obs.report` — :func:`bottleneck_report`, ranking resources
+  by utilization and attributing the saturated phase directly from
+  measurements (the paper's §V analysis as a feature).
+
+Tracing is opt-in and default-off: ``NetworkContext.tracer`` is the no-op
+:data:`NULL_TRACER` unless an :class:`Observability` bundle installs a
+real one, so unobserved benchmark runs behave identically.
+"""
+
+from repro.obs.observe import Observability
+from repro.obs.report import (
+    SATURATION_THRESHOLD,
+    BottleneckReport,
+    ResourceUsage,
+    SpanStats,
+    bottleneck_report,
+    span_statistics,
+)
+from repro.obs.sampler import (
+    Checkpoint,
+    ResourceMonitor,
+    UtilizationSampler,
+    watch_resource,
+    watch_store,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "NULL_TRACER",
+    "SATURATION_THRESHOLD",
+    "BottleneckReport",
+    "Checkpoint",
+    "NullTracer",
+    "Observability",
+    "ResourceMonitor",
+    "ResourceUsage",
+    "Span",
+    "SpanStats",
+    "Tracer",
+    "UtilizationSampler",
+    "bottleneck_report",
+    "span_statistics",
+    "watch_resource",
+    "watch_store",
+]

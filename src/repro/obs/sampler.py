@@ -1,0 +1,258 @@
+"""Resource-utilization instrumentation: monitors and the sampler process.
+
+A :class:`ResourceMonitor` attaches to one named kernel primitive (a
+:class:`~repro.sim.resources.Resource` pool or a
+:class:`~repro.sim.resources.Store` queue) and accumulates *exact*
+time-weighted integrals of busy servers and queue depth, plus a streaming
+histogram of per-request queue-wait times.  The kernel calls back into the
+monitor on every state change; when no monitor is attached the cost is a
+single ``is None`` test, so unobserved runs are unchanged.
+
+A :class:`UtilizationSampler` is a simulation process that periodically
+checkpoints every monitor.  Checkpoints carry the running integrals, so
+utilization and mean queue depth over any ``[start, end)`` window can be
+recovered exactly at the enclosing checkpoints (and linearly interpolated
+between them) — the basis of windowed bottleneck attribution.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import typing
+
+from repro.metrics.stats import StreamingHistogram
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.core import Simulation
+    from repro.sim.resources import Resource, Store
+
+
+@dataclasses.dataclass
+class Checkpoint:
+    """One sampler snapshot of a monitor's running integrals."""
+
+    time: float
+    busy_integral: float
+    queue_integral: float
+    busy: int
+    queue: int
+
+
+class ResourceMonitor:
+    """Time-weighted usage accounting for one named resource or queue.
+
+    ``capacity`` is the number of servers for a :class:`Resource`; pass 0
+    for pure queues (a :class:`Store`), which report depth but no
+    utilization.
+    """
+
+    def __init__(self, sim: "Simulation", name: str, capacity: int,
+                 kind: str = "resource", phase: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.kind = kind
+        self.phase = phase
+        self.waits = StreamingHistogram()
+        self.grants = 0
+        self.max_queue = 0
+        self._busy = 0
+        self._queue = 0
+        self._busy_integral = 0.0
+        self._queue_integral = 0.0
+        self._last_time = sim.now
+        self._attached_at = sim.now
+        self.checkpoints: list[Checkpoint] = []
+        self._checkpoint_times: list[float] = []
+
+    # ------------------------------------------------------------------
+    # Kernel callbacks
+    # ------------------------------------------------------------------
+
+    def _advance(self) -> None:
+        now = self.sim.now
+        elapsed = now - self._last_time
+        if elapsed > 0:
+            self._busy_integral += self._busy * elapsed
+            self._queue_integral += self._queue * elapsed
+            self._last_time = now
+
+    def on_state(self, busy: int, queue: int) -> None:
+        """Called by the kernel whenever occupancy or queue depth changes."""
+        self._advance()
+        self._busy = busy
+        self._queue = queue
+        if queue > self.max_queue:
+            self.max_queue = queue
+
+    def on_grant(self, wait: float) -> None:
+        """Called when a queued request is granted after ``wait`` seconds."""
+        self.grants += 1
+        self.waits.add(wait)
+
+    # ------------------------------------------------------------------
+    # Sampling and windowed statistics
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> Checkpoint:
+        """Snapshot the running integrals at the current simulated time."""
+        self._advance()
+        point = Checkpoint(time=self.sim.now,
+                           busy_integral=self._busy_integral,
+                           queue_integral=self._queue_integral,
+                           busy=self._busy, queue=self._queue)
+        self.checkpoints.append(point)
+        self._checkpoint_times.append(point.time)
+        return point
+
+    def _integrals_at(self, when: float) -> tuple[float, float]:
+        """Busy/queue integrals at ``when``.
+
+        Exact at every checkpoint and at the live accounting point
+        (``_last_time``, kept current by :meth:`_advance`); linearly
+        interpolated in between, extrapolated with the current state
+        beyond.
+        """
+        if when <= self._attached_at:
+            return 0.0, 0.0
+        if when >= self._last_time:
+            extra = when - self._last_time
+            return (self._busy_integral + self._busy * extra,
+                    self._queue_integral + self._queue * extra)
+        points = self.checkpoints
+        if not points or when <= points[0].time:
+            # Between attach and the first known point: scale linearly.
+            first_time = points[0].time if points else self._last_time
+            first_busy = (points[0].busy_integral if points
+                          else self._busy_integral)
+            first_queue = (points[0].queue_integral if points
+                           else self._queue_integral)
+            fraction = ((when - self._attached_at)
+                        / max(first_time - self._attached_at, 1e-12))
+            return first_busy * fraction, first_queue * fraction
+        if when >= points[-1].time:
+            # Between the last checkpoint and the live point.
+            last = points[-1]
+            span = max(self._last_time - last.time, 1e-12)
+            fraction = (when - last.time) / span
+            busy = (last.busy_integral
+                    + (self._busy_integral - last.busy_integral) * fraction)
+            queue = (last.queue_integral
+                     + (self._queue_integral - last.queue_integral)
+                     * fraction)
+            return busy, queue
+        index = bisect.bisect_right(self._checkpoint_times, when)
+        low, high = points[index - 1], points[index]
+        span = max(high.time - low.time, 1e-12)
+        fraction = (when - low.time) / span
+        busy = (low.busy_integral
+                + (high.busy_integral - low.busy_integral) * fraction)
+        queue = (low.queue_integral
+                 + (high.queue_integral - low.queue_integral) * fraction)
+        return busy, queue
+
+    def _window(self, start: float | None,
+                end: float | None) -> tuple[float, float, float, float]:
+        """(elapsed, busy integral, queue integral, start) over a window."""
+        self._advance()
+        t0 = self._attached_at if start is None else start
+        t1 = self._last_time if end is None else end
+        if t1 <= t0:
+            return 0.0, 0.0, 0.0, t0
+        busy0, queue0 = self._integrals_at(t0)
+        busy1, queue1 = self._integrals_at(t1)
+        return t1 - t0, busy1 - busy0, queue1 - queue0, t0
+
+    def utilization(self, start: float | None = None,
+                    end: float | None = None) -> float:
+        """Fraction of server capacity busy over ``[start, end)``.
+
+        Defaults to the monitor's whole lifetime.  Queues (capacity 0)
+        report 0.0.
+        """
+        elapsed, busy, _queue, _t0 = self._window(start, end)
+        if elapsed <= 0 or self.capacity <= 0:
+            return 0.0
+        return busy / (self.capacity * elapsed)
+
+    def mean_queue(self, start: float | None = None,
+                   end: float | None = None) -> float:
+        """Time-weighted mean queue depth over ``[start, end)``."""
+        elapsed, _busy, queue, _t0 = self._window(start, end)
+        if elapsed <= 0:
+            return 0.0
+        return queue / elapsed
+
+    def busy_series(self) -> list[tuple[float, float]]:
+        """(time, mean busy servers) per checkpoint interval, for counters."""
+        series: list[tuple[float, float]] = []
+        previous: Checkpoint | None = None
+        for point in self.checkpoints:
+            if previous is not None:
+                elapsed = point.time - previous.time
+                if elapsed > 0:
+                    busy = ((point.busy_integral - previous.busy_integral)
+                            / elapsed)
+                    series.append((point.time, busy))
+            previous = point
+        return series
+
+    def __repr__(self) -> str:
+        return (f"<ResourceMonitor {self.name} kind={self.kind} "
+                f"capacity={self.capacity} util={self.utilization():.3f}>")
+
+
+def watch_resource(resource: "Resource", name: str | None = None,
+                   kind: str = "resource",
+                   phase: str = "") -> ResourceMonitor:
+    """Attach a monitor to ``resource`` (replacing any existing one)."""
+    label = name or resource.name or f"resource@{id(resource):#x}"
+    monitor = ResourceMonitor(resource.sim, label, resource.capacity,
+                              kind=kind, phase=phase)
+    resource.monitor = monitor
+    monitor.on_state(resource.count, resource.queue_length)
+    return monitor
+
+
+def watch_store(store: "Store", name: str | None = None,
+                phase: str = "") -> ResourceMonitor:
+    """Attach a queue-depth monitor to ``store``."""
+    label = name or store.name or f"store@{id(store):#x}"
+    monitor = ResourceMonitor(store.sim, label, capacity=0, kind="queue",
+                              phase=phase)
+    store.monitor = monitor
+    monitor.on_state(store.waiting_getters, len(store))
+    return monitor
+
+
+class UtilizationSampler:
+    """A simulation process checkpointing every monitor on an interval."""
+
+    def __init__(self, sim: "Simulation",
+                 monitors: typing.Mapping[str, ResourceMonitor],
+                 interval: float = 0.05) -> None:
+        if interval <= 0:
+            raise ValueError(f"sample interval must be positive, "
+                             f"got {interval}")
+        self.sim = sim
+        self.monitors = monitors
+        self.interval = interval
+        self.samples_taken = 0
+        self._process = None
+
+    def start(self, until: float | None = None) -> None:
+        """Begin sampling; stops at simulated time ``until`` if given."""
+        if self._process is None or not self._process.is_alive:
+            self._process = self.sim.process(self._run(until))
+
+    def _run(self, until: float | None):
+        while until is None or self.sim.now < until:
+            yield self.sim.timeout(self.interval)
+            self.sample()
+
+    def sample(self) -> None:
+        """Checkpoint every monitor once at the current time."""
+        for monitor in self.monitors.values():
+            monitor.checkpoint()
+        self.samples_taken += 1

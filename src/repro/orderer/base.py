@@ -99,14 +99,17 @@ class OrderingServiceNode(NodeBase):
 
     def _handle_broadcast(self, message: Message):
         envelope: TransactionEnvelope = message.payload
-        yield from self.compute(self.costs.orderer_per_envelope_cpu)
-        if envelope.channel not in self.chains:
-            self.send(message.source, "broadcast_nack",
-                      {"tx_id": envelope.tx_id, "reason": "bad channel"})
-            return
-        self.envelopes_received += 1
-        self._pending_acks[envelope.tx_id] = message.source
-        yield from self._submit(envelope)
+        with self.tracer.span("order.broadcast", category="order",
+                              node=self.name, tx_id=envelope.tx_id) as span:
+            yield from self.compute(self.costs.orderer_per_envelope_cpu)
+            if envelope.channel not in self.chains:
+                self.send(message.source, "broadcast_nack",
+                          {"tx_id": envelope.tx_id, "reason": "bad channel"})
+                span.annotate(outcome="nack")
+                return
+            self.envelopes_received += 1
+            self._pending_acks[envelope.tx_id] = message.source
+            yield from self._submit(envelope)
 
     def _submit(self, envelope: TransactionEnvelope
                 ) -> typing.Generator[typing.Any, typing.Any, None]:
@@ -166,6 +169,10 @@ class OrderingServiceNode(NodeBase):
             return
         if (chain.cutter.has_pending
                 and block_number == chain.next_block_number):
+            self.tracer.instant(
+                "order.batch_timeout", category="order", node=self.name,
+                channel=chain.channel, block=block_number,
+                pending=chain.cutter.pending_count)
             yield from self._submit_ttc(chain.channel, block_number)
 
     def _submit_ttc(self, channel: str, block_number: int
@@ -189,14 +196,20 @@ class OrderingServiceNode(NodeBase):
                       transactions=tuple(batch), channel=chain.channel)
         chain.next_block_number += 1
         chain.previous_hash = block.header_hash()
-        yield from self.compute(self.costs.block_sign_cpu)
-        block.metadata.orderer = self.name
-        block.metadata.signature = self.identity.sign(block.header_bytes())
-        block.metadata.cut_at = self.sim.now
-        chain.blocks_cut += 1
-        self._record_cut(block)
-        self._deliver_block(chain, block)
-        self._ack_block(block)
+        with self.tracer.span("order.block", category="order",
+                              node=self.name) as span:
+            span.annotate(block=block.number, channel=chain.channel,
+                          txs=len(batch),
+                          cutter_pending=chain.cutter.pending_count)
+            yield from self.compute(self.costs.block_sign_cpu)
+            block.metadata.orderer = self.name
+            block.metadata.signature = self.identity.sign(
+                block.header_bytes())
+            block.metadata.cut_at = self.sim.now
+            chain.blocks_cut += 1
+            self._record_cut(block)
+            self._deliver_block(chain, block)
+            self._ack_block(block)
 
     def _record_cut(self, block: Block) -> None:
         if not self.metrics_leader:

@@ -101,10 +101,18 @@ class KafkaOSN(OrderingServiceNode):
         if offset < cursor.next_offset:
             return  # duplicate after resubscribe
         cursor.reorder_buffer[offset] = item
-        while cursor.next_offset in cursor.reorder_buffer:
-            next_item = cursor.reorder_buffer.pop(cursor.next_offset)
-            cursor.next_offset += 1
-            yield from self._consume_ordered(next_item)
+        if cursor.next_offset not in cursor.reorder_buffer:
+            return  # out of order; wait for the gap to fill
+        with self.tracer.span("order.kafka.consume", category="order",
+                              node=self.name) as span:
+            consumed = 0
+            while cursor.next_offset in cursor.reorder_buffer:
+                next_item = cursor.reorder_buffer.pop(cursor.next_offset)
+                cursor.next_offset += 1
+                consumed += 1
+                yield from self._consume_ordered(next_item)
+            span.annotate(channel=message.payload["channel"],
+                          items=consumed)
 
 
 class KafkaOrderingService(OrderingService):

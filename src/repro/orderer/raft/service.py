@@ -115,13 +115,18 @@ class RaftOSN(OrderingServiceNode):
                       transactions=tuple(batch), channel=chain.channel)
         chain.next_block_number += 1
         chain.previous_hash = block.header_hash()
-        yield from self.compute(self.costs.block_sign_cpu)
-        yield from self.compute(self.costs.raft_append_cpu)
-        yield from self.compute(self.costs.consensus_fsync_io)
-        block.metadata.orderer = self.name
-        block.metadata.signature = self.identity.sign(block.header_bytes())
-        block.metadata.cut_at = self.sim.now
-        self.raft.propose(("block", block))
+        with self.tracer.span("order.raft.propose", category="order",
+                              node=self.name) as span:
+            span.annotate(block=block.number, channel=chain.channel,
+                          txs=len(batch))
+            yield from self.compute(self.costs.block_sign_cpu)
+            yield from self.compute(self.costs.raft_append_cpu)
+            yield from self.compute(self.costs.consensus_fsync_io)
+            block.metadata.orderer = self.name
+            block.metadata.signature = self.identity.sign(
+                block.header_bytes())
+            block.metadata.cut_at = self.sim.now
+            self.raft.propose(("block", block))
 
     # ------------------------------------------------------------------
     # Raft callbacks
@@ -149,13 +154,17 @@ class RaftOSN(OrderingServiceNode):
         if kind != "block":
             raise ValueError(f"unknown raft entry kind {kind!r}")
         block: Block = value
-        yield from self.compute(self.costs.raft_append_cpu)
-        chain = self.chains[block.channel]
-        chain.blocks_cut += 1
-        self._record_cut(block)
-        self._deliver_block(chain, block)
-        self._ack_block(block)
-        self._last_applied[block.channel] = block
+        with self.tracer.span("order.raft.apply", category="order",
+                              node=self.name) as span:
+            span.annotate(block=block.number, channel=block.channel,
+                          txs=len(block.transactions))
+            yield from self.compute(self.costs.raft_append_cpu)
+            chain = self.chains[block.channel]
+            chain.blocks_cut += 1
+            self._record_cut(block)
+            self._deliver_block(chain, block)
+            self._ack_block(block)
+            self._last_applied[block.channel] = block
 
     def _sync_chain_tails(self) -> None:
         """Align numbering with the last applied blocks (new leaders)."""

@@ -28,13 +28,19 @@ class Endorser:
         self._peer = peer
         self._escc = ESCC(peer.identity)
         self._slots = Resource(peer.sim,
-                               capacity=peer.costs.endorser_concurrency)
+                               capacity=peer.costs.endorser_concurrency,
+                               name=f"{peer.name}.endorser.slots")
         self.proposals_endorsed = 0
         self.proposals_rejected = 0
 
     @property
     def queue_length(self) -> int:
         return self._slots.queue_length
+
+    @property
+    def slots(self) -> Resource:
+        """The endorsement concurrency pool (observability attachment)."""
+        return self._slots
 
     def endorse(self, proposal: Proposal, signature: Signature):
         """Process one proposal; returns a :class:`ProposalResponse`.
@@ -43,28 +49,34 @@ class Endorser:
         charges CPU, and waits out the chaincode container round trip.
         """
         peer = self._peer
-        request = self._slots.request()
-        yield request
-        try:
-            # CPU: checks 1-4, chaincode execution, ESCC signing.
-            yield from peer.cpu.use(peer.costs.endorse_cpu)
-            failure = self._check_proposal(proposal, signature)
-            if failure is not None:
-                self.proposals_rejected += 1
-                return failure
-            # User chaincode runs in its Docker container: round-trip
-            # latency without additional peer CPU.
-            if peer.costs.chaincode_container_latency > 0:
-                yield peer.sim.timeout(
-                    peer.costs.chaincode_container_latency)
-            response = self._execute(proposal)
-            if response.ok:
-                self.proposals_endorsed += 1
-            else:
-                self.proposals_rejected += 1
-            return response
-        finally:
-            self._slots.release(request)
+        with peer.tracer.span("endorse", category="execute", node=peer.name,
+                              tx_id=proposal.tx_id) as span:
+            queued_at = peer.sim.now
+            request = self._slots.request()
+            yield request
+            span.set_wait(peer.sim.now - queued_at)
+            try:
+                # CPU: checks 1-4, chaincode execution, ESCC signing.
+                yield from peer.cpu.use(peer.costs.endorse_cpu)
+                failure = self._check_proposal(proposal, signature)
+                if failure is not None:
+                    self.proposals_rejected += 1
+                    span.annotate(outcome="rejected")
+                    return failure
+                # User chaincode runs in its Docker container: round-trip
+                # latency without additional peer CPU.
+                if peer.costs.chaincode_container_latency > 0:
+                    yield peer.sim.timeout(
+                        peer.costs.chaincode_container_latency)
+                response = self._execute(proposal)
+                if response.ok:
+                    self.proposals_endorsed += 1
+                else:
+                    self.proposals_rejected += 1
+                    span.annotate(outcome="failed")
+                return response
+            finally:
+                self._slots.release(request)
 
     def _check_proposal(self, proposal: Proposal,
                         signature: Signature) -> ProposalResponse | None:

@@ -36,3 +36,8 @@ class GossipService:
                 self._peer.send(neighbour, "gossip_block", block,
                                 size=block.wire_size())
             self.blocks_forwarded += len(self.neighbours)
+            if self.neighbours:
+                self._peer.tracer.instant(
+                    "gossip.forward", category="gossip",
+                    node=self._peer.name, block=block.number,
+                    fanout=len(self.neighbours))

@@ -50,7 +50,8 @@ class PeerNode(NodeBase):
             Endorser(self) if is_endorsing else None)
         self.gossip = GossipService(self, is_leader=gossip_leader)
         # The state DB / block store disk (separate from CPU).
-        self.disk = Resource(self.sim, capacity=1)
+        self.disk = Resource(self.sim, capacity=1,
+                             name=f"{self.name}.disk")
         # tx_id -> client node to notify on commit.
         self._listeners: dict[str, str] = {}
         self.on("proposal", self._handle_proposal)

@@ -79,8 +79,9 @@ class BlockValidator:
         self.policy = policy
         self.ledger = ledger
         self._vscc = VSCC(peer.msp)
-        self._workers = Resource(peer.sim,
-                                 capacity=peer.costs.validator_workers)
+        self._workers = Resource(
+            peer.sim, capacity=peer.costs.validator_workers,
+            name=f"{peer.name}.{ledger.channel}.validator.workers")
         # Blocks must commit in order; out-of-order arrivals wait here.
         self._pending: dict[int, Block] = {}
         self._committing = False
@@ -91,6 +92,11 @@ class BlockValidator:
     @property
     def backlog(self) -> int:
         return len(self._pending)
+
+    @property
+    def workers(self) -> Resource:
+        """The VSCC worker pool (observability attachment)."""
+        return self._workers
 
     def submit_block(self, block: Block) -> None:
         """Accept a block from the deliver/gossip path (idempotent)."""
@@ -112,47 +118,82 @@ class BlockValidator:
             self._committing = False
 
     def _validate_and_commit(self, block: Block):
+        # The serial sections (signature check, MVCC, commit) belong to the
+        # committer, which is accounted as occupying one validator worker:
+        # blocks drain strictly serially, so the slot is always free at
+        # those points and the accounting adds zero simulated time, but the
+        # pool's utilization then measures the busy fraction of the whole
+        # validate pipeline instead of just its parallel VSCC section.
         peer = self._peer
-        # 1. Orderer signature on the block header.
-        yield from peer.cpu.use(peer.costs.block_verify_cpu)
-        signature = block.metadata.signature
-        if signature is None or not peer.msp.verify_signature(
-                signature, block.header_bytes(), peer.identity.msp_id):
-            return  # forged block: drop it entirely
-        # 2. VSCC in parallel across the worker pool.
-        flags: list[ValidationCode | None] = [None] * len(block.transactions)
-        jobs = [peer.sim.process(self._vscc_one(envelope, flags, index))
-                for index, envelope in enumerate(block.transactions)]
-        if jobs:
-            yield peer.sim.all_of(jobs)
-        vscc_flags = typing.cast("list[ValidationCode]", flags)
-        # 3. Serial MVCC in block order.
-        if block.transactions:
-            yield from peer.cpu.use(
-                peer.costs.mvcc_per_tx_cpu * len(block.transactions))
-        final_flags = check_mvcc(self.ledger, block, vscc_flags)
-        block.metadata.validation_flags = final_flags
-        # 4. Commit: ledger append + state updates (disk).
-        commit_io = (peer.costs.commit_per_block_io
-                     + peer.costs.commit_per_tx_io * len(block.transactions))
-        yield from peer.disk.use(commit_io)
-        self.ledger.commit_block(block)
-        self.blocks_validated += 1
-        for envelope, flag in zip(block.transactions, final_flags):
-            if flag is ValidationCode.VALID:
-                self.txs_valid += 1
-            else:
-                self.txs_invalid += 1
-            peer.notify_commit(envelope.tx_id, flag)
+        tracer = peer.tracer
+        with tracer.span("validate.block", category="validate",
+                         node=peer.name) as span:
+            span.annotate(block=block.number, channel=block.channel,
+                          txs=len(block.transactions))
+            # 1. Orderer signature on the block header.
+            committer = self._workers.request()
+            yield committer
+            try:
+                yield from peer.cpu.use(peer.costs.block_verify_cpu)
+            finally:
+                self._workers.release(committer)
+            signature = block.metadata.signature
+            if signature is None or not peer.msp.verify_signature(
+                    signature, block.header_bytes(), peer.identity.msp_id):
+                span.annotate(outcome="forged")
+                return  # forged block: drop it entirely
+            # 2. VSCC in parallel across the worker pool (the committer
+            #    slot is released so every worker can serve VSCC jobs).
+            flags: list[ValidationCode | None] = (
+                [None] * len(block.transactions))
+            jobs = [peer.sim.process(self._vscc_one(envelope, flags, index))
+                    for index, envelope in enumerate(block.transactions)]
+            if jobs:
+                yield peer.sim.all_of(jobs)
+            vscc_flags = typing.cast("list[ValidationCode]", flags)
+            committer = self._workers.request()
+            yield committer
+            try:
+                # 3. Serial MVCC in block order.
+                with tracer.span("validate.mvcc", category="validate",
+                                 node=peer.name):
+                    if block.transactions:
+                        yield from peer.cpu.use(
+                            peer.costs.mvcc_per_tx_cpu
+                            * len(block.transactions))
+                    final_flags = check_mvcc(self.ledger, block, vscc_flags)
+                block.metadata.validation_flags = final_flags
+                # 4. Commit: ledger append + state updates (disk).
+                with tracer.span("validate.commit", category="validate",
+                                 node=peer.name):
+                    commit_io = (peer.costs.commit_per_block_io
+                                 + peer.costs.commit_per_tx_io
+                                 * len(block.transactions))
+                    yield from peer.disk.use(commit_io)
+            finally:
+                self._workers.release(committer)
+            self.ledger.commit_block(block)
+            self.blocks_validated += 1
+            for envelope, flag in zip(block.transactions, final_flags):
+                if flag is ValidationCode.VALID:
+                    self.txs_valid += 1
+                else:
+                    self.txs_invalid += 1
+                peer.notify_commit(envelope.tx_id, flag)
 
     def _vscc_one(self, envelope: TransactionEnvelope,
                   flags: list[ValidationCode | None], index: int):
         peer = self._peer
-        request = self._workers.request()
-        yield request
-        try:
-            cost = peer.costs.vscc_tx_cpu(len(envelope.endorsements))
-            yield from peer.cpu.use(cost)
-            flags[index] = self._vscc.validate(envelope, self.policy)
-        finally:
-            self._workers.release(request)
+        with peer.tracer.span("validate.vscc", category="validate",
+                              node=peer.name,
+                              tx_id=envelope.tx_id) as span:
+            queued_at = peer.sim.now
+            request = self._workers.request()
+            yield request
+            span.set_wait(peer.sim.now - queued_at)
+            try:
+                cost = peer.costs.vscc_tx_cpu(len(envelope.endorsements))
+                yield from peer.cpu.use(cost)
+                flags[index] = self._vscc.validate(envelope, self.policy)
+            finally:
+                self._workers.release(request)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.obs.tracer import NULL_TRACER
 from repro.runtime.costs import CostModel
 from repro.sim.core import Simulation
 from repro.sim.network import Network
@@ -12,6 +13,7 @@ from repro.sim.rng import RngRegistry
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.metrics.collector import MetricsCollector
+    from repro.obs.tracer import NullTracer, Tracer
 
 
 @dataclasses.dataclass
@@ -23,6 +25,9 @@ class NetworkContext:
     rng: RngRegistry
     costs: CostModel
     metrics: "MetricsCollector"
+    #: Span tracer; the shared no-op :data:`~repro.obs.tracer.NULL_TRACER`
+    #: unless an observability layer installs a recording one.
+    tracer: "Tracer | NullTracer" = NULL_TRACER
 
     @classmethod
     def create(cls, seed: int = 0, costs: CostModel | None = None,

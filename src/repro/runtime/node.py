@@ -32,7 +32,7 @@ class NodeBase:
         self.network = context.network
         self.costs = context.costs
         self.name = name
-        self.cpu = Resource(self.sim, capacity=cores)
+        self.cpu = Resource(self.sim, capacity=cores, name=f"{name}.cpu")
         self.network.add_node(name)
         self._handlers: dict[str, Handler] = {}
         self._receive_process = None
@@ -103,6 +103,12 @@ class NodeBase:
     def compute(self, cpu_seconds: float):
         """Sub-generator: occupy one core for ``cpu_seconds``."""
         yield from self.cpu.use(cpu_seconds)
+
+    @property
+    def tracer(self):
+        """The context's span tracer (read dynamically: observability may
+        be installed after node construction)."""
+        return self.context.tracer
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name}>"

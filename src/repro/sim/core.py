@@ -64,7 +64,17 @@ class Simulation:
         return Event(self)
 
     def timeout(self, delay: float, value: typing.Any = None) -> Timeout:
-        """Create an event that fires ``delay`` seconds from now."""
+        """Create an event that fires ``delay`` seconds from now.
+
+        ``delay`` must be non-negative: a negative delay would schedule an
+        event *before* already-queued ones and silently corrupt the heap's
+        time ordering, so it is rejected here (and again in
+        :class:`~repro.sim.events.Timeout` for direct constructions).
+        """
+        if delay < 0:
+            raise ValueError(
+                f"timeout delay must be >= 0, got {delay} "
+                f"(a negative delay would schedule into the past)")
         return Timeout(self, delay, value)
 
     def process(self, generator: ProcessGenerator) -> "Process":
@@ -85,6 +95,9 @@ class Simulation:
 
     def _enqueue(self, event: Event, delay: float = 0.0) -> None:
         """Schedule ``event``'s callbacks to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(
+                f"cannot schedule an event {-delay} seconds into the past")
         heapq.heappush(self._heap, (self._now + delay, self._seq, event))
         self._seq += 1
 

@@ -110,8 +110,9 @@ class Network:
     def add_node(self, name: str) -> None:
         """Register a node; idempotent."""
         if name not in self._mailboxes:
-            self._mailboxes[name] = Store(self.sim)
-            self._nics[name] = Resource(self.sim, capacity=1)
+            self._mailboxes[name] = Store(self.sim, name=f"{name}.mailbox")
+            self._nics[name] = Resource(self.sim, capacity=1,
+                                        name=f"{name}.nic")
 
     @property
     def nodes(self) -> list[str]:
@@ -197,3 +198,7 @@ class Network:
     def mailbox(self, name: str) -> Store:
         """Direct access to a node's mailbox (for inspection in tests)."""
         return self._mailboxes[name]
+
+    def nic(self, name: str) -> Resource:
+        """The node's egress NIC resource (for observability attachment)."""
+        return self._nics[name]

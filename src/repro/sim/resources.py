@@ -23,6 +23,8 @@ class Request(Event):
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.sim)
         self.resource = resource
+        #: Simulated time the request entered the wait queue (observability).
+        self.queued_at: float | None = None
 
 
 class Resource:
@@ -40,11 +42,18 @@ class Resource:
     or, more conveniently, ``yield from resource.use(service_time)``.
     """
 
-    def __init__(self, sim: "Simulation", capacity: int = 1) -> None:
+    def __init__(self, sim: "Simulation", capacity: int = 1,
+                 name: str | None = None) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.capacity = capacity
+        #: Identity for observability; also used in monitor reports.
+        self.name = name
+        #: Attached :class:`~repro.obs.sampler.ResourceMonitor`, if any.
+        #: When ``None`` (the default) instrumentation costs one ``is``
+        #: test per state change and records nothing.
+        self.monitor = None
         self._users: set[Request] = set()
         self._queue: collections.deque[Request] = collections.deque()
 
@@ -64,8 +73,14 @@ class Resource:
         if len(self._users) < self.capacity:
             self._users.add(request)
             request.succeed()
+            if self.monitor is not None:
+                self.monitor.on_grant(0.0)
+                self.monitor.on_state(len(self._users), len(self._queue))
         else:
+            request.queued_at = self.sim.now
             self._queue.append(request)
+            if self.monitor is not None:
+                self.monitor.on_state(len(self._users), len(self._queue))
         return request
 
     def release(self, request: Request) -> None:
@@ -81,6 +96,8 @@ class Resource:
                 raise RuntimeError(
                     "release() of a request that holds no slot and is "
                     "not queued") from None
+        if self.monitor is not None:
+            self.monitor.on_state(len(self._users), len(self._queue))
 
     def use(self, duration: float) -> typing.Generator[Event, typing.Any, None]:
         """Hold one slot for ``duration`` simulated seconds.
@@ -101,6 +118,10 @@ class Resource:
             request = self._queue.popleft()
             self._users.add(request)
             request.succeed()
+            if self.monitor is not None:
+                wait = (self.sim.now - request.queued_at
+                        if request.queued_at is not None else 0.0)
+                self.monitor.on_grant(wait)
 
 
 class Store:
@@ -111,8 +132,12 @@ class Store:
     FIFO order of both items and getters.
     """
 
-    def __init__(self, sim: "Simulation") -> None:
+    def __init__(self, sim: "Simulation", name: str | None = None) -> None:
         self.sim = sim
+        #: Identity for observability; also used in monitor reports.
+        self.name = name
+        #: Attached :class:`~repro.obs.sampler.ResourceMonitor`, if any.
+        self.monitor = None
         self._items: collections.deque[typing.Any] = collections.deque()
         self._getters: collections.deque[Event] = collections.deque()
 
@@ -130,8 +155,10 @@ class Store:
             getter = self._getters.popleft()
             if not getter.triggered:
                 getter.succeed(item)
+                self._note_state()
                 return
         self._items.append(item)
+        self._note_state()
 
     def get(self) -> Event:
         """Event firing with the next item (possibly already buffered)."""
@@ -140,10 +167,16 @@ class Store:
             event.succeed(self._items.popleft())
         else:
             self._getters.append(event)
+        self._note_state()
         return event
+
+    def _note_state(self) -> None:
+        if self.monitor is not None:
+            self.monitor.on_state(len(self._getters), len(self._items))
 
     def drain(self) -> list[typing.Any]:
         """Remove and return all buffered items without blocking."""
         items = list(self._items)
         self._items.clear()
+        self._note_state()
         return items

@@ -1,6 +1,5 @@
 """Edge cases of the client SDK: disagreement, late responses, nacks."""
 
-import pytest
 
 from repro.common.types import ValidationCode
 from tests.client.test_sdk import invoke_sync, tiny_network

@@ -1,6 +1,5 @@
 """Tests for the wire-level data types."""
 
-import pytest
 
 from repro.common.types import (
     Block,

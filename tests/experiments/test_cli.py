@@ -30,3 +30,22 @@ def test_help_mentions_paper():
 
 def test_seed_flag_parsed(capsys):
     assert main(["tab1", "--seed", "9"]) == 0
+
+
+def test_trace_subcommand_prints_report_and_writes_trace(tmp_path, capsys):
+    import json
+
+    trace_path = tmp_path / "trace.json"
+    assert main(["trace", "--rate", "40", "--duration", "3",
+                 "--trace-out", str(trace_path)]) == 0
+    output = capsys.readouterr().out
+    assert "Bottleneck attribution" in output
+    assert "throughput:" in output
+    assert "resource" in output
+    payload = json.loads(trace_path.read_text())
+    assert any(event["ph"] == "X" for event in payload["traceEvents"])
+
+
+def test_trace_rejects_unknown_orderer():
+    with pytest.raises(SystemExit):
+        main(["trace", "--orderer", "pbft"])

@@ -1,6 +1,5 @@
 """Tests for ASCII figure plotting."""
 
-import pytest
 
 from repro.experiments.plots import ascii_plot, plot_if_supported, plot_result
 from repro.experiments.report import ExperimentResult

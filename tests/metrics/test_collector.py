@@ -156,3 +156,55 @@ def test_window_boundaries_are_half_open():
     full_lifecycle(collector, sim, "t", 1.0, 2.0, 3.0, 10.0)
     metrics = collector.aggregate(0.0, 10.0)
     assert metrics.overall_throughput == 0.0  # commit at exactly `end`
+
+
+def test_block_time_grouped_per_osn():
+    # Three OSNs record the same three blocks (Raft/Kafka: every OSN cuts
+    # deterministically).  Pooling the nine cuts would undercount the
+    # interval ~3x; grouping per OSN keeps Definition 4.3.
+    sim = Simulation()
+    collector = MetricsCollector(sim)
+    for cut_time in [1.0, 2.0, 3.0]:
+        at(sim, cut_time)
+        for osn in ("osn0", "osn1", "osn2"):
+            collector.block_cut(100, osn)
+    metrics = collector.aggregate(0.0, 10.0)
+    assert metrics.block_time == pytest.approx(1.0)
+
+
+def test_block_time_reports_the_busiest_osn():
+    sim = Simulation()
+    collector = MetricsCollector(sim)
+    # osn0 led briefly, then osn1 took over and cut most blocks.
+    at(sim, 1.0)
+    collector.block_cut(100, "osn0")
+    at(sim, 1.5)
+    collector.block_cut(100, "osn0")
+    for cut_time in [2.0, 4.0, 6.0, 8.0]:
+        at(sim, cut_time)
+        collector.block_cut(100, "osn1")
+    metrics = collector.aggregate(0.0, 10.0)
+    assert metrics.block_time == pytest.approx(2.0)
+
+
+def test_latency_percentile_fields():
+    sim = Simulation()
+    collector = MetricsCollector(sim)
+    for index, latency in enumerate([1.0, 2.0, 3.0, 4.0]):
+        submit = float(index) * 5.0   # keep the clock monotonic
+        full_lifecycle(collector, sim, f"t{index}", submit, submit + 0.1,
+                       submit + 0.2, submit + latency)
+    metrics = collector.aggregate(0.0, 25.0)
+    assert metrics.overall_latency == pytest.approx(2.5)
+    assert metrics.overall_latency_p50 == pytest.approx(2.5)
+    assert metrics.overall_latency_p95 == pytest.approx(3.85)
+    assert metrics.overall_latency_p99 == pytest.approx(3.97)
+    assert metrics.overall_latency_p99 <= 4.0
+
+
+def test_latency_percentiles_zero_without_samples():
+    sim = Simulation()
+    collector = MetricsCollector(sim)
+    metrics = collector.aggregate(0.0, 10.0)
+    assert metrics.overall_latency_p50 == 0.0
+    assert metrics.overall_latency_p99 == 0.0

@@ -9,6 +9,7 @@ import pytest
 from repro.common.types import ValidationCode
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.export import (
+    metrics_to_csv,
     metrics_to_json,
     throughput_timeseries,
     traces_to_csv,
@@ -90,3 +91,48 @@ def test_throughput_timeseries_validation():
         throughput_timeseries(collector, 0, 5, bucket=0)
     with pytest.raises(ValueError):
         throughput_timeseries(collector, 5, 5)
+
+
+def test_csv_preserves_none_timestamps_as_empty():
+    _sim, collector = make_collector()
+    rows = list(csv.DictReader(io.StringIO(traces_to_csv(collector))))
+    rejected = rows[2]
+    assert rejected["endorsed"] == ""
+    assert rejected["committed"] == ""
+    assert rejected["validation_code"] == ""
+    assert rejected["submitted"] == "4.0"
+
+
+def test_json_round_trips_invalid_transactions():
+    _sim, collector = make_collector()
+    rows = json.loads(traces_to_json(collector))
+    invalid = next(r for r in rows if r["tx_id"] == "t2")
+    assert invalid["validation_code"] == "MVCC_READ_CONFLICT"
+    assert invalid["committed"] == 3.5
+    rejected = next(r for r in rows if r["tx_id"] == "t3")
+    assert rejected["rejected"] == 7.0
+    assert rejected["ordered"] is None
+
+
+def test_metrics_json_includes_percentile_fields():
+    _sim, collector = make_collector()
+    payload = json.loads(metrics_to_json(collector.aggregate(0, 10)))
+    assert payload["overall_latency_p50"] > 0.0
+    assert payload["overall_latency_p95"] >= payload["overall_latency_p50"]
+    assert payload["overall_latency_p99"] >= payload["overall_latency_p95"]
+
+
+def test_metrics_to_csv_round_trip_appends_new_columns_last():
+    _sim, collector = make_collector()
+    metrics = collector.aggregate(0, 10)
+    text = metrics_to_csv(metrics)
+    (row,) = list(csv.DictReader(io.StringIO(text)))
+    assert float(row["overall_throughput"]) == pytest.approx(
+        metrics.overall_throughput)
+    assert float(row["overall_latency_p99"]) == pytest.approx(
+        metrics.overall_latency_p99)
+    header = text.splitlines()[0].split(",")
+    # Append-only: the original aggregate columns stay in front.
+    assert header[0] == "window"
+    assert header[-3:] == ["overall_latency_p50", "overall_latency_p95",
+                           "overall_latency_p99"]

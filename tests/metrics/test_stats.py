@@ -55,3 +55,84 @@ def test_describe_empty():
     summary = describe([])
     assert summary["count"] == 0
     assert summary["mean"] == 0.0
+
+
+# ----------------------------------------------------------------------
+# StreamingHistogram
+# ----------------------------------------------------------------------
+
+from repro.metrics.stats import StreamingHistogram  # noqa: E402
+
+
+def test_histogram_exact_count_sum_min_max():
+    histogram = StreamingHistogram()
+    histogram.extend([0.001, 0.010, 0.100, 1.0])
+    assert histogram.count == 4
+    assert len(histogram) == 4
+    assert histogram.total == pytest.approx(1.111)
+    assert histogram.min == 0.001
+    assert histogram.max == 1.0
+    assert histogram.mean == pytest.approx(1.111 / 4)
+
+
+def test_histogram_percentiles_within_bucket_error():
+    histogram = StreamingHistogram()
+    values = [0.001 * (index + 1) for index in range(1000)]
+    histogram.extend(values)
+    # One log-bucket of relative error at 32 buckets/decade is ~7.5%.
+    assert histogram.percentile(50) == pytest.approx(0.5, rel=0.08)
+    assert histogram.percentile(95) == pytest.approx(0.95, rel=0.08)
+    assert histogram.percentile(99) == pytest.approx(0.99, rel=0.08)
+    assert histogram.percentile(100) == 1.0
+
+
+def test_histogram_empty_and_range_checks():
+    histogram = StreamingHistogram()
+    assert histogram.percentile(99) == 0.0
+    assert histogram.mean == 0.0
+    with pytest.raises(ValueError):
+        histogram.percentile(101)
+    with pytest.raises(ValueError):
+        StreamingHistogram(min_value=0.0)
+    with pytest.raises(ValueError):
+        StreamingHistogram(min_value=1.0, max_value=0.5)
+    with pytest.raises(ValueError):
+        StreamingHistogram(buckets_per_decade=0)
+
+
+def test_histogram_negative_values_clamped_to_zero():
+    histogram = StreamingHistogram()
+    histogram.add(-5.0)
+    assert histogram.min == 0.0
+    assert histogram.percentile(50) <= histogram.min_value
+
+
+def test_histogram_underflow_and_overflow_buckets():
+    histogram = StreamingHistogram(min_value=0.01, max_value=10.0)
+    histogram.add(0.0001)     # underflow
+    histogram.add(1e9)        # clamps into the last bucket
+    assert histogram.count == 2
+    assert histogram.percentile(50) <= 0.01
+    assert histogram.percentile(100) == 1e9
+
+
+def test_histogram_merge():
+    left = StreamingHistogram()
+    right = StreamingHistogram()
+    left.extend([0.01, 0.02])
+    right.extend([0.04, 0.08])
+    left.merge(right)
+    assert left.count == 4
+    assert left.total == pytest.approx(0.15)
+    assert left.max == 0.08
+    with pytest.raises(ValueError):
+        left.merge(StreamingHistogram(buckets_per_decade=8))
+
+
+def test_histogram_describe_matches_list_describe_shape():
+    histogram = StreamingHistogram()
+    assert set(histogram.describe()) == set(describe([]))
+    histogram.extend([0.1, 0.2, 0.3])
+    summary = histogram.describe()
+    assert summary["count"] == 3
+    assert summary["mean"] == pytest.approx(0.2)

@@ -1,0 +1,143 @@
+"""Tests for resource monitors and the utilization sampler."""
+
+import pytest
+
+from repro.obs.sampler import UtilizationSampler, watch_resource, watch_store
+from repro.sim import Simulation
+from repro.sim.resources import Resource, Store
+
+
+def test_monitor_tracks_exact_busy_integral():
+    sim = Simulation()
+    resource = Resource(sim, capacity=2, name="pool")
+    monitor = watch_resource(resource, kind="pool", phase="validate")
+
+    def worker(hold):
+        yield from resource.use(hold)
+
+    sim.process(worker(4.0))
+    sim.process(worker(2.0))
+    sim.run()
+    # Busy integral: 2 servers for 2s, then 1 server for 2s = 6 busy-sec
+    # over capacity 2 x 4s elapsed.
+    assert monitor.utilization(0.0, 4.0) == pytest.approx(6.0 / 8.0)
+    assert monitor.utilization() == pytest.approx(6.0 / 8.0)
+
+
+def test_monitor_queue_depth_and_wait_distribution():
+    sim = Simulation()
+    resource = Resource(sim, capacity=1, name="cpu")
+    monitor = watch_resource(resource)
+
+    def worker():
+        yield from resource.use(1.0)
+
+    for _ in range(3):
+        sim.process(worker())
+    sim.run()
+    assert monitor.grants == 3
+    assert monitor.max_queue == 2
+    # Waits: 0s, 1s, 2s.
+    assert monitor.waits.count == 3
+    assert monitor.waits.mean == pytest.approx(1.0)
+    # Queue integral: 2 waiting for 1s, 1 waiting for 1s, 0 after = 3.
+    assert monitor.mean_queue(0.0, 3.0) == pytest.approx(1.0)
+
+
+def test_windowed_utilization_interpolates_between_checkpoints():
+    sim = Simulation()
+    resource = Resource(sim, capacity=1, name="cpu")
+    monitor = watch_resource(resource)
+
+    def worker():
+        yield sim.timeout(2.0)
+        yield from resource.use(4.0)
+
+    def checkpoints():
+        for _ in range(3):
+            yield sim.timeout(4.0)
+            monitor.checkpoint()
+
+    sim.process(worker())
+    sim.process(checkpoints())
+    sim.run()
+    # Busy exactly during [2, 6): full window has 4 busy of 12 elapsed.
+    assert monitor.utilization(0.0, 12.0) == pytest.approx(4.0 / 12.0)
+    # [4, 8) straddles two checkpoints: busy [4, 6) = half the window.
+    assert monitor.utilization(4.0, 8.0) == pytest.approx(0.5)
+    # Checkpoint-free sub-window [0, 2) interpolates the first checkpoint.
+    assert monitor.utilization(0.0, 2.0) == pytest.approx(
+        monitor.utilization(0.0, 4.0), abs=1e-9)
+
+
+def test_store_monitor_records_depth():
+    sim = Simulation()
+    store = Store(sim, name="mailbox")
+    monitor = watch_store(store, phase="network")
+
+    def producer():
+        store.put("a")
+        store.put("b")
+        yield sim.timeout(2.0)
+        yield store.get()
+
+    sim.process(producer())
+    sim.run()
+    assert monitor.capacity == 0
+    assert monitor.kind == "queue"
+    assert monitor.utilization() == 0.0       # queues cannot saturate
+    assert monitor.mean_queue(0.0, 2.0) == pytest.approx(2.0)
+    assert monitor.max_queue == 2
+
+
+def test_sampler_checkpoints_all_monitors_and_stops_at_until():
+    sim = Simulation()
+    resource = Resource(sim, capacity=1, name="cpu")
+    monitor = watch_resource(resource)
+    sampler = UtilizationSampler(sim, {"cpu": monitor}, interval=1.0)
+    sampler.start(until=5.0)
+    sim.run(until=100.0)
+    assert sim.now == 100.0 or sim.now >= 5.0
+    assert sampler.samples_taken == 5
+    assert len(monitor.checkpoints) == 5
+    assert monitor.checkpoints[-1].time == pytest.approx(5.0)
+
+
+def test_sampler_rejects_non_positive_interval():
+    sim = Simulation()
+    with pytest.raises(ValueError):
+        UtilizationSampler(sim, {}, interval=0.0)
+
+
+def test_busy_series_reports_per_interval_means():
+    sim = Simulation()
+    resource = Resource(sim, capacity=2, name="pool")
+    monitor = watch_resource(resource)
+
+    def worker():
+        yield from resource.use(1.0)
+
+    def checkpoints():
+        monitor.checkpoint()
+        yield sim.timeout(2.0)
+        monitor.checkpoint()
+        yield sim.timeout(2.0)
+        monitor.checkpoint()
+
+    sim.process(worker())
+    sim.process(worker())
+    sim.process(checkpoints())
+    sim.run()
+    series = monitor.busy_series()
+    assert series[0] == (2.0, pytest.approx(1.0))   # 2 busy for 1s of 2s
+    assert series[1] == (4.0, pytest.approx(0.0))
+
+
+def test_unobserved_resource_has_no_monitor_attached():
+    sim = Simulation()
+    resource = Resource(sim, capacity=1)
+    store = Store(sim)
+    assert resource.monitor is None
+    assert store.monitor is None
+    assert resource.name is None
+    assert store.name is None

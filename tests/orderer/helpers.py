@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from repro.common.config import OrdererConfig
 from repro.common.types import (
     KVRead,
     KVWrite,

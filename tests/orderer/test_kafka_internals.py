@@ -1,6 +1,5 @@
 """Unit tests for Kafka broker internals and the ZooKeeper ensemble."""
 
-import pytest
 
 from repro.common.config import OrdererConfig
 from repro.orderer.kafka.service import KafkaOrderingService

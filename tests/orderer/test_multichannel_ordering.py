@@ -3,7 +3,6 @@
 import pytest
 
 from repro.common.config import OrdererConfig
-from repro.common.errors import ConfigurationError
 from repro.orderer.solo import SoloOrderingService
 from tests.orderer.helpers import (
     Sink,

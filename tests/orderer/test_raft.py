@@ -1,6 +1,5 @@
 """Tests for the Raft ordering service: elections, replication, failover."""
 
-import pytest
 
 from repro.common.config import OrdererConfig
 from repro.orderer.raft.node import RaftState

@@ -1,6 +1,5 @@
 """Tests for the endorsement flow (execute phase)."""
 
-import pytest
 
 from repro.common.types import Proposal
 from tests.peer.helpers import CHANNEL, PeerRig
@@ -82,7 +81,6 @@ def test_unknown_chaincode_rejected():
 
 
 def test_replayed_transaction_rejected():
-    from repro.common.types import ValidationCode
     from tests.peer.helpers import make_signed_block, write_rwset
 
     rig = PeerRig()

@@ -1,6 +1,5 @@
 """Tests for the validate phase: VSCC, MVCC, and commit."""
 
-import pytest
 
 from repro.common.types import KVRead, KVWrite, TxReadWriteSet, ValidationCode
 from repro.peer.validator import check_mvcc

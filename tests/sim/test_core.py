@@ -386,3 +386,24 @@ def test_active_process_is_tracked():
     sim.run()
     assert seen == [handle]
     assert sim.active_process is None
+
+
+def test_enqueue_rejects_negative_delay():
+    # The heap-level guard: a negative delay would schedule before
+    # already-queued events and silently corrupt time ordering.
+    sim = Simulation()
+    with pytest.raises(ValueError):
+        sim._enqueue(sim.event(), delay=-0.001)
+
+
+def test_negative_timeout_rejected_inside_process():
+    sim = Simulation()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        yield sim.timeout(-1e-9)
+
+    process = sim.process(proc(sim))
+    with pytest.raises(ValueError):
+        sim.run(until=process)
+    assert sim.now == 1.0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import AllOf, AnyOf, Simulation
+from repro.sim import AnyOf, Simulation
 from repro.sim.events import ConditionValue
 
 

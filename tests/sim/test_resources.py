@@ -196,3 +196,67 @@ def test_store_waiting_getters_count():
     store.put("unblock")
     sim.run()
     assert store.waiting_getters == 0
+
+
+class RecordingMonitor:
+    """Minimal monitor double recording kernel callbacks."""
+
+    def __init__(self):
+        self.states = []
+        self.grants = []
+
+    def on_state(self, busy, queue):
+        self.states.append((busy, queue))
+
+    def on_grant(self, wait):
+        self.grants.append(wait)
+
+
+def test_resource_monitor_hooks_fire_on_state_changes():
+    sim = Simulation()
+    resource = Resource(sim, capacity=1, name="cpu")
+    monitor = RecordingMonitor()
+    resource.monitor = monitor
+
+    def worker(hold):
+        yield from resource.use(hold)
+
+    sim.process(worker(2.0))
+    sim.process(worker(1.0))
+    sim.run()
+    # grant(0) for the first, queue for the second, grant(2.0) at release.
+    assert monitor.grants == [0.0, 2.0]
+    assert (1, 1) in monitor.states          # one busy, one queued
+    assert monitor.states[-1] == (0, 0)      # all released at the end
+
+
+def test_store_monitor_hooks_fire_on_put_get_drain():
+    sim = Simulation()
+    store = Store(sim, name="mailbox")
+    monitor = RecordingMonitor()
+    store.monitor = monitor
+    store.put("a")
+    store.put("b")
+    store.get()
+    store.drain()
+    # (getters, items) after each operation.
+    assert monitor.states == [(0, 1), (0, 2), (0, 1), (0, 0)]
+
+
+def test_unmonitored_resources_behave_identically():
+    sim = Simulation()
+    resource = Resource(sim, capacity=1)
+    store = Store(sim)
+    assert resource.monitor is None and store.monitor is None
+    done = []
+
+    def worker():
+        yield from resource.use(1.0)
+        store.put("x")
+        item = yield store.get()
+        done.append(item)
+
+    sim.process(worker())
+    sim.run()
+    assert done == ["x"]
+    assert sim.now == 1.0
