@@ -1,0 +1,11 @@
+"""Static-analysis tooling guarding the simulator's contracts.
+
+Unlike :mod:`repro.analysis` (queueing-theory analysis of *results*), this
+package analyses the *code base itself*: :mod:`repro.analysis_tools.simlint`
+enforces the determinism and simulation-purity contract documented in
+:mod:`repro.sim`.
+"""
+
+from repro.analysis_tools.simlint import Linter, lint_paths, lint_source
+
+__all__ = ["Linter", "lint_paths", "lint_source"]

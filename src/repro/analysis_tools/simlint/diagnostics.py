@@ -1,0 +1,41 @@
+"""Diagnostic records emitted by simlint rules."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings break the determinism contract outright (wall-clock
+    reads, unseeded randomness); ``WARNING`` findings are hazards that a
+    reviewer must either fix or explicitly suppress with a justification.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule violated at a specific source location."""
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    column: int
+    message: str
+
+    def format(self) -> str:
+        """Render as ``path:line:col: SLxxx [severity] message``."""
+        return (f"{self.path}:{self.line}:{self.column}: "
+                f"{self.rule} [{self.severity}] {self.message}")
+
+    def __str__(self) -> str:
+        return self.format()

@@ -1,0 +1,75 @@
+"""Inline ``# simlint: disable=SLxxx`` suppression parsing.
+
+Two forms are recognised:
+
+- ``# simlint: disable=SL001,SL004`` on the *same source line* as the
+  diagnostic suppresses those rules for that line only.  A bare
+  ``# simlint: disable`` suppresses every rule on that line.
+- ``# simlint: disable-file=SL008`` anywhere in the file suppresses the
+  named rules for the whole file (a bare ``disable-file`` is deliberately
+  not supported: whole-file blanket suppression hides too much).
+
+Suppressions are meant to be rare and always paired with a comment
+explaining *why* the violation is deliberate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+_LINE_RE = re.compile(
+    r"#\s*simlint:\s*disable(?:=(?P<rules>[A-Z]{2}\d+(?:\s*,\s*[A-Z]{2}\d+)*))?")
+_FILE_RE = re.compile(
+    r"#\s*simlint:\s*disable-file=(?P<rules>[A-Z]{2}\d+(?:\s*,\s*[A-Z]{2}\d+)*)")
+
+#: Sentinel meaning "every rule" for a bare ``# simlint: disable``.
+ALL_RULES = "*"
+
+
+@dataclasses.dataclass
+class SuppressionIndex:
+    """Per-file map of which rules are disabled on which lines."""
+
+    #: line number -> set of rule ids (or :data:`ALL_RULES`).
+    by_line: dict[int, set[str]]
+    #: rules disabled for the entire file.
+    file_wide: set[str]
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if rule in self.file_wide:
+            return True
+        rules = self.by_line.get(line)
+        if rules is None:
+            return False
+        return ALL_RULES in rules or rule in rules
+
+    @property
+    def count(self) -> int:
+        return len(self.by_line) + len(self.file_wide)
+
+
+def _split(rules: str) -> set[str]:
+    return {part.strip() for part in rules.split(",") if part.strip()}
+
+
+def parse_suppressions(source: str) -> SuppressionIndex:
+    """Scan ``source`` for suppression comments (1-based line numbers)."""
+    by_line: dict[int, set[str]] = {}
+    file_wide: set[str] = set()
+    for number, text in enumerate(source.splitlines(), start=1):
+        if "simlint" not in text:
+            continue
+        file_match = _FILE_RE.search(text)
+        if file_match is not None:
+            file_wide |= _split(file_match.group("rules"))
+            continue
+        line_match = _LINE_RE.search(text)
+        if line_match is not None:
+            rules = line_match.group("rules")
+            entry = by_line.setdefault(number, set())
+            if rules is None:
+                entry.add(ALL_RULES)
+            else:
+                entry |= _split(rules)
+    return SuppressionIndex(by_line=by_line, file_wide=file_wide)

@@ -51,7 +51,7 @@ class WorkloadGenerator:
         sim = client.sim
         rng = client.context.rng.stream(f"workload.{client.name}")
         if start_at > sim.now:
-            yield sim.timeout(start_at - sim.now)
+            yield sim.timeout(max(0.0, start_at - sim.now))
         interval = 1.0 / rate
         end_time = start_at + self.config.duration
         # Stagger client start phases so aggregate arrivals are smooth.

@@ -5,11 +5,17 @@ Usage::
     fabric-repro tab1
     fabric-repro fig2 --full
     fabric-repro all --seed 7
+    repro lint
+    repro check-determinism            # solo + kafka + raft double runs
+    repro check-determinism --orderer raft
+
+(``repro`` and ``fabric-repro`` are the same entry point.)
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 import typing
 
@@ -48,6 +54,52 @@ def _run_trace(args) -> int:
     return 0
 
 
+def _run_lint(args) -> int:
+    """The ``lint`` subcommand: simlint over the simulator source tree."""
+    from repro.analysis_tools.simlint import lint_paths
+
+    paths = args.paths or [_default_lint_root()]
+    result = lint_paths(paths)
+    print(result.render())
+    return 0 if result.ok else 1
+
+
+def _default_lint_root() -> str:
+    """The installed ``repro`` package directory (works from any cwd)."""
+    return str(pathlib.Path(__file__).resolve().parent.parent)
+
+
+def _run_check_determinism(args) -> int:
+    """The ``check-determinism`` subcommand: same-seed double runs."""
+    from repro.experiments.determinism import (
+        CHECK_DURATION,
+        CHECK_RATE,
+        check_point_determinism,
+    )
+
+    kinds = (["solo", "kafka", "raft"] if args.orderer is None
+             else [args.orderer])
+    rate = args.check_rate if args.check_rate is not None else CHECK_RATE
+    duration = (args.check_duration if args.check_duration is not None
+                else CHECK_DURATION)
+    failures = 0
+    for kind in kinds:
+        check = check_point_determinism(
+            kind, rate=rate, duration=duration, seed=args.seed,
+            keep_records=not args.digest_only)
+        print(check.render())
+        print()
+        if not check.ok:
+            failures += 1
+    if failures:
+        print(f"check-determinism: {failures}/{len(kinds)} "
+              f"configuration(s) NON-DETERMINISTIC")
+        return 1
+    print(f"check-determinism: all {len(kinds)} configuration(s) "
+          f"reproducible (byte-identical schedules and metrics)")
+    return 0
+
+
 def _results_for(experiment_id: str, mode: str, seed: int):
     if experiment_id == "tab1":
         return [run_table1()]
@@ -75,9 +127,14 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
                     "'Performance Characterization and Bottleneck Analysis "
                     "of Hyperledger Fabric' (ICDCS 2020).")
     parser.add_argument("experiment",
-                        choices=EXPERIMENT_IDS + ["all", "trace"],
-                        help="which artifact to regenerate, or 'trace' for "
-                             "an observed run with bottleneck attribution")
+                        choices=(EXPERIMENT_IDS
+                                 + ["all", "trace", "lint",
+                                    "check-determinism"]),
+                        help="which artifact to regenerate; 'trace' for an "
+                             "observed run with bottleneck attribution; "
+                             "'lint' for the simlint determinism analyzer; "
+                             "'check-determinism' for same-seed double-run "
+                             "schedule diffing")
     parser.add_argument("--full", action="store_true",
                         help="run the paper-scale sweep (slower)")
     parser.add_argument("--seed", type=int, default=1,
@@ -86,9 +143,10 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
                         help="render figure-shaped ASCII charts as well")
     trace_group = parser.add_argument_group(
         "trace options", "only used with the 'trace' experiment")
-    trace_group.add_argument("--orderer", default="solo",
+    trace_group.add_argument("--orderer", default=None,
                              choices=["solo", "kafka", "raft"],
-                             help="ordering service kind (default solo)")
+                             help="ordering service kind (default solo for "
+                                  "trace; all three for check-determinism)")
     trace_group.add_argument("--policy", default="AND5",
                              help="endorsement policy (default AND5)")
     trace_group.add_argument("--rate", type=float, default=250.0,
@@ -103,9 +161,34 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     trace_group.add_argument("--trace-out", default=None, metavar="PATH",
                              help="write a Chrome trace_event JSON file "
                                   "(view in Perfetto / chrome://tracing)")
+    lint_group = parser.add_argument_group(
+        "lint options", "only used with the 'lint' experiment")
+    lint_group.add_argument("--path", dest="paths", action="append",
+                            default=None, metavar="DIR",
+                            help="file or directory to lint (repeatable; "
+                                 "default: the installed repro package)")
+    check_group = parser.add_argument_group(
+        "check-determinism options",
+        "only used with the 'check-determinism' experiment; --orderer, "
+        "--seed also apply")
+    check_group.add_argument("--check-rate", type=float, default=None,
+                             help="offered load for the double runs "
+                                  "(default 60 tx/s)")
+    check_group.add_argument("--check-duration", type=float, default=None,
+                             help="workload duration for the double runs "
+                                  "(default 4 simulated seconds)")
+    check_group.add_argument("--digest-only", action="store_true",
+                             help="skip per-event record keeping (lower "
+                                  "memory; no first-divergence report)")
     args = parser.parse_args(argv)
 
+    if args.experiment == "lint":
+        return _run_lint(args)
+    if args.experiment == "check-determinism":
+        return _run_check_determinism(args)
     if args.experiment == "trace":
+        if args.orderer is None:
+            args.orderer = "solo"
         return _run_trace(args)
     mode = "full" if args.full else "quick"
     if args.experiment == "all":

@@ -1,0 +1,106 @@
+"""End-to-end determinism checks over whole Fabric configurations.
+
+Glue between the generic runtime sanitizer
+(:mod:`repro.sim.sanitizer`) and the benchmark harness: build a network
+point, run it with an attached trace digest, run it *again* from the same
+seed, and demand byte-identical schedules and metrics.  This is what
+``repro check-determinism`` executes for Solo, Kafka, and Raft.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.experiments.runner import make_topology, make_workload
+from repro.fabric.network import FabricNetwork
+from repro.sim.sanitizer import (
+    DeterminismReport,
+    TraceDigest,
+    digest_run,
+    run_twice_and_diff,
+)
+
+#: Small-but-representative defaults: enough load to exercise endorse /
+#: order / validate on every backend while keeping a double run fast.
+CHECK_PEERS = 4
+CHECK_RATE = 60.0
+CHECK_DURATION = 4.0
+
+
+@dataclasses.dataclass
+class PointCheck:
+    """Determinism verdict for one (orderer, policy, rate) configuration."""
+
+    orderer_kind: str
+    policy: str
+    rate: float
+    seed: int
+    report: DeterminismReport
+    metrics_identical: bool
+    throughput: float
+
+    @property
+    def ok(self) -> bool:
+        return self.report.identical and self.metrics_identical
+
+    def render(self) -> str:
+        status = "ok" if self.ok else "FAILED"
+        header = (f"[{status}] {self.orderer_kind} / {self.policy} @ "
+                  f"{self.rate:g} tx/s, seed {self.seed}: "
+                  f"{self.throughput:.1f} tx/s committed, metrics "
+                  f"{'identical' if self.metrics_identical else 'DIVERGED'}")
+        return header + "\n" + _indent(self.report.render())
+
+
+def _indent(text: str, prefix: str = "  ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())
+
+
+def run_digested_point(orderer_kind: str, policy: str = "AND2",
+                       rate: float = CHECK_RATE,
+                       peers: int = CHECK_PEERS,
+                       duration: float = CHECK_DURATION,
+                       seed: int = 1,
+                       keep_records: bool = True
+                       ) -> tuple[TraceDigest, dict[str, float]]:
+    """Run one network point with the trace digest attached.
+
+    Returns the digest and the run's windowed metrics as a dict, so
+    double-run checks compare metrics as well as schedules.
+    """
+    topology = make_topology(orderer_kind, policy, peers)
+    workload = make_workload(rate, duration)
+    network = FabricNetwork(topology, workload, seed=seed)
+    metrics: list[dict[str, float]] = []
+
+    def drive() -> None:
+        metrics.append(network.run_workload().as_dict())
+
+    digest = digest_run(network.sim, drive, keep_records=keep_records)
+    return digest, metrics[0]
+
+
+def check_point_determinism(orderer_kind: str, policy: str = "AND2",
+                            rate: float = CHECK_RATE,
+                            peers: int = CHECK_PEERS,
+                            duration: float = CHECK_DURATION,
+                            seed: int = 1,
+                            keep_records: bool = True) -> PointCheck:
+    """Same-seed double run of one configuration, diffed."""
+    metrics_by_run: list[dict[str, float]] = []
+
+    def run_once() -> TraceDigest:
+        digest, metrics = run_digested_point(
+            orderer_kind, policy=policy, rate=rate, peers=peers,
+            duration=duration, seed=seed, keep_records=keep_records)
+        metrics_by_run.append(metrics)
+        return digest
+
+    report = run_twice_and_diff(run_once, keep_records=keep_records)
+    # Identical schedules imply identical metrics; compare anyway so a
+    # digest-implementation bug cannot mask a metrics divergence.
+    metrics_identical = metrics_by_run[0] == metrics_by_run[1]
+    return PointCheck(
+        orderer_kind=orderer_kind, policy=policy, rate=rate, seed=seed,
+        report=report, metrics_identical=metrics_identical,
+        throughput=metrics_by_run[0].get("overall_throughput", 0.0))

@@ -26,10 +26,17 @@ from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
 from repro.sim.network import Link, Message, Network
 from repro.sim.resources import Resource, Store
 from repro.sim.rng import RngRegistry
+from repro.sim.sanitizer import (
+    DeterminismReport,
+    TraceDigest,
+    digest_run,
+    run_twice_and_diff,
+)
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "DeterminismReport",
     "Event",
     "Interrupt",
     "Link",
@@ -41,4 +48,7 @@ __all__ = [
     "Simulation",
     "Store",
     "Timeout",
+    "TraceDigest",
+    "digest_run",
+    "run_twice_and_diff",
 ]

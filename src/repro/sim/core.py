@@ -16,6 +16,9 @@ import typing
 
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
 
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.sanitizer import TraceDigest
+
 ProcessGenerator = typing.Generator[Event, typing.Any, typing.Any]
 
 
@@ -44,6 +47,10 @@ class Simulation:
         self._heap: list[tuple[float, int, Event]] = []
         self._seq: int = 0
         self._active_process: Process | None = None
+        #: Determinism sanitizer hook; when set, every popped event is fed
+        #: into its running digest.  ``None`` (the default) costs one
+        #: ``is`` test per step.
+        self._trace: "TraceDigest | None" = None
 
     @property
     def now(self) -> float:
@@ -105,10 +112,16 @@ class Simulation:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._heap[0][0] if self._heap else float("inf")
 
+    def set_trace(self, trace: "TraceDigest | None") -> None:
+        """Install (or remove) the determinism-sanitizer trace hook."""
+        self._trace = trace
+
     def step(self) -> None:
         """Pop and process a single event."""
         when, _seq, event = heapq.heappop(self._heap)
         self._now = when
+        if self._trace is not None:
+            self._trace.record(when, _seq, event)
         callbacks = event.callbacks
         event.callbacks = None
         for callback in callbacks:

@@ -31,7 +31,15 @@ class RngRegistry:
         return stream
 
     def jittered(self, name: str, mean: float, jitter: float) -> float:
-        """A draw from ``Uniform(mean*(1-jitter), mean*(1+jitter))``, >= 0."""
+        """A draw from ``Uniform(mean*(1-jitter), mean*(1+jitter))``, >= 0.
+
+        ``mean`` must be non-negative: a negative mean silently flips the
+        jitter interval (low > high) and would feed negative delays into
+        the scheduler.
+        """
+        if mean < 0:
+            raise ValueError(
+                f"jittered({name!r}) mean must be >= 0, got {mean}")
         if jitter <= 0:
             return mean
         low = mean * (1.0 - jitter)

@@ -1,0 +1,250 @@
+"""Runtime determinism sanitizer: trace digests, double-run diffing, ties.
+
+The static side of the determinism contract lives in
+:mod:`repro.analysis_tools.simlint`; this module is the *runtime* side:
+
+- :class:`TraceDigest` hashes every ``(time, seq, event-type, owner)`` pop
+  of the simulation loop into one SHA-256 digest.  Two same-seed runs of a
+  deterministic model produce byte-identical digests; any divergence —
+  schedule reordering, an extra event, a perturbed RNG stream — changes it.
+- :func:`run_twice_and_diff` runs a workload factory twice with identical
+  inputs and, on divergence, reports the *first* event where the two
+  schedules disagree (the closest thing a simulator has to a race report).
+- The tie auditor inside :class:`TraceDigest` counts same-timestamp pops
+  that resume *different* processes: those orderings are decided purely by
+  heap insertion order, i.e. they are the places where an innocent refactor
+  can legally reorder the schedule.  High tie counts mean the model leans
+  hard on insertion order; the examples list names the processes involved.
+
+Attach with :meth:`repro.sim.core.Simulation.set_trace`; overhead when
+detached is one ``is None`` test per event.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.core import Simulation
+    from repro.sim.events import Event
+
+
+class TraceRecord(typing.NamedTuple):
+    """One popped event, as fed into the digest."""
+
+    time: float
+    seq: int
+    event_type: str
+    owner: str
+
+    def format(self) -> str:
+        return (f"t={self.time:.9f} seq={self.seq} "
+                f"{self.event_type} -> {self.owner}")
+
+
+class TieRecord(typing.NamedTuple):
+    """Two consecutive same-time pops owned by different processes."""
+
+    time: float
+    first_owner: str
+    second_owner: str
+
+
+def _owner_of(event: "Event") -> str:
+    """A stable label for the process(es) an event belongs to / resumes.
+
+    A :class:`~repro.sim.core.Process` completion event is labelled with
+    its own generator name; any other event with the names of the
+    processes its callbacks resume (bound ``_resume`` methods).  A
+    process's completion pop therefore shares its label with the resumes
+    that drove it, so the tie auditor only counts ties between genuinely
+    *distinct* processes.  Memory addresses are deliberately excluded —
+    labels must be identical across runs.
+    """
+    from repro.sim.core import Process
+
+    if isinstance(event, Process):
+        return event.name
+    names: list[str] = []
+    for callback in event.callbacks or ():
+        owner = getattr(callback, "__self__", None)
+        if isinstance(owner, Process):
+            names.append(owner.name)
+    if names:
+        return ",".join(names)
+    return "-"
+
+
+class TraceDigest:
+    """Streaming SHA-256 over the event schedule, plus a tie audit.
+
+    With ``keep_records=True`` (the default) every record is also kept in
+    memory so :func:`diff_records` can pinpoint the first divergence; for
+    very long runs where only the digest matters, pass ``False``.
+    """
+
+    #: Cap on stored tie examples (the count is always exact).
+    MAX_TIE_EXAMPLES = 32
+
+    def __init__(self, sim: "Simulation", keep_records: bool = True) -> None:
+        self.sim = sim
+        self.keep_records = keep_records
+        self.records: list[TraceRecord] = []
+        self.events_recorded = 0
+        self.tie_count = 0
+        self.tie_examples: list[TieRecord] = []
+        self._hash = hashlib.sha256()
+        self._previous: TraceRecord | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def attach(self) -> "TraceDigest":
+        """Install this digest as the simulation's trace hook."""
+        self.sim.set_trace(self)
+        return self
+
+    def detach(self) -> None:
+        if self.sim._trace is self:
+            self.sim.set_trace(None)
+
+    # ------------------------------------------------------------------
+    # Recording (called from Simulation.step)
+    # ------------------------------------------------------------------
+
+    def record(self, when: float, seq: int, event: "Event") -> None:
+        rec = TraceRecord(time=when, seq=seq,
+                          event_type=type(event).__name__,
+                          owner=_owner_of(event))
+        # float.hex() is exact: two times digest equal iff bit-identical.
+        self._hash.update(
+            f"{rec.time.hex()}|{rec.seq}|{rec.event_type}|{rec.owner}\n"
+            .encode("utf-8"))
+        self.events_recorded += 1
+        if self.keep_records:
+            self.records.append(rec)
+        previous = self._previous
+        if (previous is not None and previous.time == rec.time
+                and previous.owner != rec.owner
+                and rec.owner != "-" and previous.owner != "-"):
+            self.tie_count += 1
+            if len(self.tie_examples) < self.MAX_TIE_EXAMPLES:
+                self.tie_examples.append(TieRecord(
+                    time=rec.time, first_owner=previous.owner,
+                    second_owner=rec.owner))
+        self._previous = rec
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    @property
+    def hexdigest(self) -> str:
+        """Digest over everything recorded so far."""
+        return self._hash.hexdigest()
+
+
+@dataclasses.dataclass
+class Divergence:
+    """The first event at which two same-seed schedules disagree."""
+
+    index: int
+    left: TraceRecord | None
+    right: TraceRecord | None
+
+    def format(self) -> str:
+        left = self.left.format() if self.left else "<schedule ended>"
+        right = self.right.format() if self.right else "<schedule ended>"
+        return (f"first divergence at event #{self.index}:\n"
+                f"  run A: {left}\n"
+                f"  run B: {right}")
+
+
+@dataclasses.dataclass
+class DeterminismReport:
+    """Outcome of a same-input double run."""
+
+    identical: bool
+    digest_a: str
+    digest_b: str
+    events_a: int
+    events_b: int
+    tie_count: int
+    tie_examples: list[TieRecord]
+    divergence: Divergence | None
+
+    def render(self) -> str:
+        lines = []
+        if self.identical:
+            lines.append(
+                f"DETERMINISTIC: {self.events_a} events, "
+                f"digest {self.digest_a[:16]}… identical across runs")
+        else:
+            lines.append(
+                f"NON-DETERMINISTIC: digests differ "
+                f"({self.digest_a[:16]}… vs {self.digest_b[:16]}…, "
+                f"{self.events_a} vs {self.events_b} events)")
+            if self.divergence is not None:
+                lines.append(self.divergence.format())
+        lines.append(
+            f"tie audit: {self.tie_count} same-timestamp adjacent pops "
+            f"across distinct processes (insertion-order dependent)")
+        for tie in self.tie_examples[:5]:
+            lines.append(f"  tie at t={tie.time:.9f}: "
+                         f"{tie.first_owner} | {tie.second_owner}")
+        return "\n".join(lines)
+
+
+def diff_records(left: list[TraceRecord],
+                 right: list[TraceRecord]) -> Divergence | None:
+    """First index at which two schedules disagree, or ``None``."""
+    for index, (a, b) in enumerate(zip(left, right)):
+        if a != b:
+            return Divergence(index=index, left=a, right=b)
+    if len(left) != len(right):
+        index = min(len(left), len(right))
+        return Divergence(
+            index=index,
+            left=left[index] if index < len(left) else None,
+            right=right[index] if index < len(right) else None)
+    return None
+
+
+def run_twice_and_diff(
+        run: typing.Callable[[], TraceDigest],
+        keep_records: bool = True) -> DeterminismReport:
+    """Run ``run`` twice and compare the schedules it produces.
+
+    ``run`` must build a *fresh* simulation from identical inputs (same
+    seed, same config), execute it with an attached :class:`TraceDigest`,
+    and return that digest.  The :func:`digest_run` helper wraps the
+    common build-attach-run pattern.
+    """
+    first = run()
+    second = run()
+    divergence = None
+    identical = first.hexdigest == second.hexdigest
+    if not identical and keep_records:
+        divergence = diff_records(first.records, second.records)
+    return DeterminismReport(
+        identical=identical,
+        digest_a=first.hexdigest, digest_b=second.hexdigest,
+        events_a=first.events_recorded, events_b=second.events_recorded,
+        tie_count=first.tie_count,
+        tie_examples=list(first.tie_examples),
+        divergence=divergence)
+
+
+def digest_run(sim: "Simulation",
+               drive: typing.Callable[[], typing.Any],
+               keep_records: bool = True) -> TraceDigest:
+    """Attach a digest to ``sim``, call ``drive()``, detach, return it."""
+    digest = TraceDigest(sim, keep_records=keep_records).attach()
+    try:
+        drive()
+    finally:
+        digest.detach()
+    return digest

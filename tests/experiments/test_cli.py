@@ -49,3 +49,27 @@ def test_trace_subcommand_prints_report_and_writes_trace(tmp_path, capsys):
 def test_trace_rejects_unknown_orderer():
     with pytest.raises(SystemExit):
         main(["trace", "--orderer", "pbft"])
+
+
+def test_lint_subcommand_clean_on_shipped_tree(capsys):
+    assert main(["lint"]) == 0
+    output = capsys.readouterr().out
+    assert "0 finding(s)" in output
+
+
+def test_lint_subcommand_flags_bad_path(tmp_path, capsys):
+    bad = tmp_path / "peer"
+    bad.mkdir()
+    (bad / "bad.py").write_text("import random\n", encoding="utf-8")
+    assert main(["lint", "--path", str(tmp_path)]) == 1
+    output = capsys.readouterr().out
+    assert "SL001" in output
+
+
+def test_check_determinism_subcommand_single_orderer(capsys):
+    assert main(["check-determinism", "--orderer", "solo",
+                 "--check-duration", "1.5", "--check-rate", "30",
+                 "--digest-only"]) == 0
+    output = capsys.readouterr().out
+    assert "DETERMINISTIC" in output
+    assert "reproducible" in output

@@ -1,11 +1,50 @@
 """Tests for named random streams."""
 
+import pytest
+
 from repro.sim import RngRegistry
 
 
 def test_same_name_same_stream():
     registry = RngRegistry(seed=1)
     assert registry.stream("x") is registry.stream("x")
+
+
+def test_consuming_one_stream_does_not_perturb_another():
+    """Stream independence: draws from A must not shift B, for any seed."""
+    for seed in (0, 1, 42):
+        undisturbed = RngRegistry(seed=seed)
+        expected_b = [undisturbed.stream("b").random() for _ in range(20)]
+
+        disturbed = RngRegistry(seed=seed)
+        for _ in range(1000):
+            disturbed.stream("a").random()
+        observed_b = [disturbed.stream("b").random() for _ in range(20)]
+        assert observed_b == expected_b
+
+
+def test_interleaved_consumption_matches_sequential():
+    sequential = RngRegistry(seed=7)
+    a_seq = [sequential.stream("a").random() for _ in range(10)]
+    b_seq = [sequential.stream("b").random() for _ in range(10)]
+
+    interleaved = RngRegistry(seed=7)
+    a_int, b_int = [], []
+    for _ in range(10):
+        a_int.append(interleaved.stream("a").random())
+        b_int.append(interleaved.stream("b").random())
+    assert a_int == a_seq
+    assert b_int == b_seq
+
+
+def test_jittered_negative_mean_rejected():
+    with pytest.raises(ValueError, match="mean must be >= 0"):
+        RngRegistry(seed=0).jittered("j", mean=-1.0, jitter=0.2)
+
+
+def test_jittered_negative_mean_rejected_even_without_jitter():
+    with pytest.raises(ValueError):
+        RngRegistry(seed=0).jittered("j", mean=-0.5, jitter=0.0)
 
 
 def test_streams_are_independent_of_consumption_order():
