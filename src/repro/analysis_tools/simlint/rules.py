@@ -12,6 +12,7 @@ SL005     bare or over-broad ``except`` clauses
 SL006     ``==`` / ``!=`` against the float simulation clock
 SL007     ``timeout()`` delays computed by unguarded subtraction
 SL008     module-level mutable state in ``peer/``/``orderer/``/``ledger/``
+SL009     direct mutation of ``node.crashed`` outside the crash API
 ========  ==========================================================
 """
 
@@ -441,8 +442,47 @@ class ModuleMutableStateRule(Rule):
                 "node or context instance")
 
 
+class CrashMutationRule(Rule):
+    """SL009: ``node.crashed`` is only mutated via ``crash()``/``recover()``.
+
+    Setting the flag directly skips the network-layer side effects
+    (dropping in-flight traffic, reviving the mailbox), so the "crashed"
+    node keeps receiving messages — a fault model that quietly diverges
+    from the one the fault injector replays.  Only the crash API in
+    ``runtime/node.py`` and the ``faults/`` package may touch it.
+    """
+
+    rule_id = "SL009"
+    severity = Severity.ERROR
+    description = "direct mutation of node.crashed outside the crash API"
+    allowlist = ("runtime/node.py",)
+    allowlist_prefixes = ("faults/",)
+
+    def check(self, context: FileContext) -> typing.Iterator[Diagnostic]:
+        if (context.relpath in self.allowlist
+                or context.relpath.startswith(self.allowlist_prefixes)):
+            return
+        for node in ast.walk(context.tree):
+            targets: list[ast.expr]
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and target.attr == "crashed"):
+                    yield context.diagnostic(
+                        self, node,
+                        f"direct assignment to {_dotted_name(target)}; "
+                        "call crash()/recover() so the network layer "
+                        "stays consistent")
+
+
 def default_rules() -> list[Rule]:
-    """The full SL001–SL008 rule set, in id order."""
+    """The full SL001–SL009 rule set, in id order."""
     return [RandomUseRule(), WallClockRule(), UnorderedIterationRule(),
             MutableDefaultRule(), BroadExceptRule(), FloatTimeEqualityRule(),
-            TimeoutDelayRule(), ModuleMutableStateRule()]
+            TimeoutDelayRule(), ModuleMutableStateRule(),
+            CrashMutationRule()]

@@ -88,6 +88,17 @@ class WorkloadConfig:
     num_clients: int | None = None   # default: one client per endorsing peer
     arrival_process: str = "uniform"  # "uniform" or "poisson"
     ordering_timeout: float = 3.0    # client rejects after this (paper §IV.C)
+    #: Deadline for collecting endorsements, separate from the ordering
+    #: timeout (historically the two were conflated into one knob).
+    endorsement_timeout: float = 3.0
+    #: Bounded client-side resubmission budget per transaction.  0 (the
+    #: default) keeps the paper's fire-once client; fault experiments raise
+    #: it so clients survive orderer crashes and leader elections.
+    max_resubmits: int = 0
+    #: Base delay of the exponential backoff between resubmissions; the
+    #: actual delay is ``base * 2**attempt`` jittered by ``resubmit_jitter``.
+    resubmit_backoff: float = 0.25
+    resubmit_jitter: float = 0.5
     warmup: float = 3.0              # measurement window trim, start
     cooldown: float = 2.0            # measurement window trim, end
     key_space: int = 10_000          # distinct keys touched by the workload
@@ -103,6 +114,16 @@ class WorkloadConfig:
                 f"unknown arrival process {self.arrival_process!r}")
         if self.num_clients is not None and self.num_clients < 1:
             raise ConfigurationError("need at least one client")
+        if self.ordering_timeout <= 0:
+            raise ConfigurationError("ordering timeout must be positive")
+        if self.endorsement_timeout <= 0:
+            raise ConfigurationError("endorsement timeout must be positive")
+        if self.max_resubmits < 0:
+            raise ConfigurationError("max_resubmits must be >= 0")
+        if self.resubmit_backoff < 0:
+            raise ConfigurationError("resubmit backoff must be >= 0")
+        if not 0 <= self.resubmit_jitter < 1:
+            raise ConfigurationError("resubmit jitter must be in [0, 1)")
         if self.warmup + self.cooldown >= self.duration:
             raise ConfigurationError(
                 "warmup + cooldown must leave a measurement window")

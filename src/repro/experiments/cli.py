@@ -8,6 +8,8 @@ Usage::
     repro lint
     repro check-determinism            # solo + kafka + raft double runs
     repro check-determinism --orderer raft
+    repro faults --smoke               # single run of every fault scenario
+    repro faults --scenario raft-leader-kill   # double run + criteria
 
 (``repro`` and ``fabric-repro`` are the same entry point.)
 """
@@ -100,6 +102,43 @@ def _run_check_determinism(args) -> int:
     return 0
 
 
+def _run_faults(args) -> int:
+    """The ``faults`` subcommand: fault scenarios + recovery criteria.
+
+    Default (and ``--scenario``): same-seed double run per scenario, so a
+    failure is either a broken recovery criterion or non-determinism.
+    ``--smoke`` runs each scenario once (faster; CI gate).
+    """
+    from repro.experiments.faults import (
+        SCENARIOS,
+        check_scenario_determinism,
+        run_fault_scenario,
+    )
+
+    names = [args.scenario] if args.scenario else sorted(SCENARIOS)
+    failures = 0
+    for name in names:
+        if args.smoke:
+            result = run_fault_scenario(name, seed=args.seed)
+            print(result.render())
+            print()
+            if not result.ok:
+                failures += 1
+            continue
+        check = check_scenario_determinism(
+            name, seed=args.seed, keep_records=not args.digest_only)
+        print(check.result.render())
+        print(check.render())
+        print()
+        if not (check.ok and check.result.ok):
+            failures += 1
+    if failures:
+        print(f"faults: {failures}/{len(names)} scenario(s) FAILED")
+        return 1
+    print(f"faults: all {len(names)} scenario(s) passed")
+    return 0
+
+
 def _results_for(experiment_id: str, mode: str, seed: int):
     if experiment_id == "tab1":
         return [run_table1()]
@@ -129,12 +168,13 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     parser.add_argument("experiment",
                         choices=(EXPERIMENT_IDS
                                  + ["all", "trace", "lint",
-                                    "check-determinism"]),
+                                    "check-determinism", "faults"]),
                         help="which artifact to regenerate; 'trace' for an "
                              "observed run with bottleneck attribution; "
                              "'lint' for the simlint determinism analyzer; "
                              "'check-determinism' for same-seed double-run "
-                             "schedule diffing")
+                             "schedule diffing; 'faults' for the "
+                             "fault-injection recovery scenarios")
     parser.add_argument("--full", action="store_true",
                         help="run the paper-scale sweep (slower)")
     parser.add_argument("--seed", type=int, default=1,
@@ -180,12 +220,24 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     check_group.add_argument("--digest-only", action="store_true",
                              help="skip per-event record keeping (lower "
                                   "memory; no first-divergence report)")
+    faults_group = parser.add_argument_group(
+        "faults options",
+        "only used with the 'faults' experiment; --seed also applies")
+    faults_group.add_argument("--scenario", default=None,
+                              choices=["raft-leader-kill",
+                                       "kafka-broker-kill"],
+                              help="run one scenario (default: all)")
+    faults_group.add_argument("--smoke", action="store_true",
+                              help="single run per scenario instead of the "
+                                   "same-seed determinism double run")
     args = parser.parse_args(argv)
 
     if args.experiment == "lint":
         return _run_lint(args)
     if args.experiment == "check-determinism":
         return _run_check_determinism(args)
+    if args.experiment == "faults":
+        return _run_faults(args)
     if args.experiment == "trace":
         if args.orderer is None:
             args.orderer = "solo"

@@ -8,6 +8,7 @@ validate phase.
 
 from __future__ import annotations
 
+import typing
 
 from repro.chaincode import (
     KVStoreChaincode,
@@ -21,6 +22,7 @@ from repro.client.sdk import ClientNode
 from repro.client.workload import WorkloadGenerator
 from repro.common.config import TopologyConfig, WorkloadConfig
 from repro.common.errors import ConfigurationError
+from repro.faults import FaultInjector, FaultSchedule, compute_recovery
 from repro.msp import MSP, CertificateAuthority, Role
 from repro.obs import Observability
 from repro.orderer import OrderingService, build_ordering_service
@@ -40,7 +42,8 @@ class FabricNetwork:
                  seed: int = 0, costs: CostModel | None = None,
                  workload_kind: str = "unique",
                  observe: bool = False,
-                 sample_interval: float = 0.05) -> None:
+                 sample_interval: float = 0.05,
+                 faults: FaultSchedule | None = None) -> None:
         topology.validate()
         self.topology = topology
         self.workload_config = workload or WorkloadConfig()
@@ -78,6 +81,14 @@ class FabricNetwork:
         self._started = False
 
         self._build()
+        #: Fault injector driving an optional :class:`FaultSchedule`.
+        self.fault_injector: FaultInjector | None = None
+        if faults is not None and faults:
+            self.fault_injector = FaultInjector(
+                self.context.sim, self.context.network, faults,
+                resolve_node=self.node_named,
+                resolve_alias=self._resolve_fault_alias,
+                metrics=self.context.metrics)
 
     # ------------------------------------------------------------------
     # Assembly
@@ -137,18 +148,29 @@ class FabricNetwork:
             peer.subscribe_to_orderer(self.orderer.osn_for(index).name)
 
     def _build_clients(self) -> None:
-        count = (self.workload_config.num_clients
-                 or len(self.endorsing_peers))
+        workload = self.workload_config
+        count = workload.num_clients or len(self.endorsing_peers)
+        anchor_names = [peer.name for peer in self.endorsing_peers]
+        osn_names = self.orderer.node_names
         for index in range(count):
             identity = self.ca.enroll(f"client{index}", Role.CLIENT)
-            anchor = self.endorsing_peers[index % len(self.endorsing_peers)]
-            osn = self.orderer.osn_for(index)
+            # Failover lists: each client starts on its round-robin home
+            # endpoint (preserving the non-fault assignment) and rotates
+            # through the rest when attempts fail.
+            anchors = [anchor_names[(index + k) % len(anchor_names)]
+                       for k in range(len(anchor_names))]
+            orderers = [osn_names[(index + k) % len(osn_names)]
+                        for k in range(len(osn_names))]
             # Clients spread round-robin across channels (one channel each).
             channel = self.channel_names[index % len(self.channel_names)]
             client = ClientNode(
                 self.context, identity, channel, self.policies[channel],
-                anchor_peer=anchor.name, orderer=osn.name,
-                ordering_timeout=self.workload_config.ordering_timeout)
+                anchor_peer=anchors, orderer=orderers,
+                ordering_timeout=workload.ordering_timeout,
+                endorsement_timeout=workload.endorsement_timeout,
+                max_resubmits=workload.max_resubmits,
+                resubmit_backoff=workload.resubmit_backoff,
+                resubmit_jitter=workload.resubmit_jitter)
             # Spread the OR round-robin start across clients so target
             # peers share load evenly in aggregate.
             client._or_counter = index
@@ -212,6 +234,8 @@ class FabricNetwork:
         self.orderer.start()
         for client in self.clients:
             client.start()
+        if self.fault_injector is not None:
+            self.fault_injector.start()
 
     def run_workload(self, drain: float = 5.0):
         """Start, stabilize, drive the workload, and aggregate metrics.
@@ -268,6 +292,50 @@ class FabricNetwork:
             if peer.name == name:
                 return peer
         raise ConfigurationError(f"no peer named {name!r}")
+
+    def node_named(self, name: str):
+        """Any node in the deployment by name (fault-injection resolver)."""
+        pools = [self.peers, self.clients, self.orderer.nodes,
+                 getattr(self.orderer, "brokers", [])]
+        zookeeper = getattr(self.orderer, "zookeeper", None)
+        if zookeeper is not None:
+            pools.append(zookeeper.nodes)
+        for pool in pools:
+            for node in pool:
+                if node.name == name:
+                    return node
+        raise ConfigurationError(f"no node named {name!r}")
+
+    def _resolve_fault_alias(self, alias: str) -> str | None:
+        """Resolve ``"@leader"`` to the current consensus leader's name.
+
+        Raft: the leading OSN.  Kafka: the partition-leader *broker* (the
+        node whose death triggers re-election).  Solo: the single OSN.
+        """
+        if alias != "@leader":
+            return None
+        kind = getattr(self.orderer, "kind", "")
+        if kind == "kafka":
+            leader = getattr(self.orderer, "partition_leader", None)
+            return typing.cast("str | None", leader)
+        if kind == "raft":
+            return typing.cast("str | None",
+                               getattr(self.orderer, "leader", None))
+        return self.orderer.nodes[0].name if self.orderer.nodes else None
+
+    def recovery_report(self, fault_time: float, bucket: float = 0.5):
+        """Recovery analysis for the last :meth:`run_workload` call.
+
+        ``fault_time`` anchors the analysis (typically the schedule's first
+        crash time plus :attr:`STABILIZATION`, since schedules run on the
+        same clock as the workload).
+        """
+        window = getattr(self, "last_window", None)
+        if window is None:
+            raise ConfigurationError(
+                "recovery_report() needs a completed run_workload() call")
+        return compute_recovery(self.context.metrics, fault_time, window,
+                                bucket=bucket)
 
     def assert_ledgers_consistent(self) -> None:
         """All peers hold identical, internally consistent chains

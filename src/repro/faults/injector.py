@@ -1,0 +1,171 @@
+"""Executes a :class:`~repro.faults.schedule.FaultSchedule` against a run.
+
+The injector is one simulation process walking the schedule's timeline and
+applying each action at its exact simulated time:
+
+- ``crash`` / ``recover`` call the target node's :meth:`crash` /
+  :meth:`recover` (the only sanctioned mutation path for ``node.crashed``
+  — simlint rule SL009 enforces this);
+- ``partition`` takes every directed link *between* the groups down and
+  restores it at the window's end;
+- ``delay`` scales a directed link's propagation latency by a factor and
+  restores the original value afterwards.
+
+Alias targets (``"@leader"``) are resolved at fire time through a resolver
+callback supplied by the network; a ``crash`` remembers what its alias
+resolved to, so a later ``recover`` with the same alias revives the node
+that was actually killed.
+
+Every applied action is recorded in the metrics collector's runtime-event
+log (``fault.crash``, ``fault.recover``, ...) so recovery analysis can
+anchor on injection times without a side channel.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.common.errors import ConfigurationError
+from repro.faults import schedule as _schedule
+from repro.faults.schedule import ALIAS_PREFIX, FaultAction, FaultSchedule
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.metrics.collector import MetricsCollector
+    from repro.runtime.node import NodeBase
+    from repro.sim.core import Simulation
+    from repro.sim.network import Network
+
+#: Resolves a concrete node name to its node object.
+NodeResolver = typing.Callable[[str], "NodeBase"]
+#: Resolves an alias (e.g. "@leader") to a concrete node name, or None.
+AliasResolver = typing.Callable[[str], typing.Optional[str]]
+
+
+class FaultInjector:
+    """Drives one fault schedule inside one simulation."""
+
+    def __init__(self, sim: "Simulation", network: "Network",
+                 schedule: FaultSchedule,
+                 resolve_node: NodeResolver,
+                 resolve_alias: AliasResolver | None = None,
+                 metrics: "MetricsCollector | None" = None) -> None:
+        self.sim = sim
+        self.network = network
+        self.schedule = schedule
+        self._resolve_node = resolve_node
+        self._resolve_alias = resolve_alias
+        self._metrics = metrics
+        #: alias -> concrete node name bound by the most recent crash.
+        self._alias_bindings: dict[str, str] = {}
+        #: (source, destination) -> original latency, saved by delay_start.
+        self._saved_latencies: dict[tuple[str, str], float] = {}
+        #: (time, kind, resolved target description) for every applied action.
+        self.injected: list[tuple[float, str, str]] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the injection process (idempotent)."""
+        if self._started or not self.schedule:
+            return
+        self._started = True
+        self.sim.process(self._run())
+
+    def _run(self):
+        for action in self.schedule.timeline():
+            delay = max(0.0, action.at - self.sim.now)
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            self._apply(action)
+
+    # ------------------------------------------------------------------
+    # Action application
+    # ------------------------------------------------------------------
+
+    def _apply(self, action: FaultAction) -> None:
+        if action.kind == _schedule.CRASH:
+            name = self._resolve_target(action.target, binding="bind")
+            self._resolve_node(name).crash()
+            self._note("crash", name)
+        elif action.kind == _schedule.RECOVER:
+            name = self._resolve_target(action.target, binding="consume")
+            self._resolve_node(name).recover()
+            self._note("recover", name)
+        elif action.kind == _schedule.PARTITION_START:
+            self._set_partition(action, up=False)
+        elif action.kind == _schedule.PARTITION_END:
+            self._set_partition(action, up=True)
+        elif action.kind == _schedule.DELAY_START:
+            source, destination = self._resolve_link(action)
+            link = self.network.link(source, destination)
+            self._saved_latencies[(source, destination)] = link.latency
+            link.latency = link.latency * typing.cast(float, action.factor)
+            self._note("delay_start", f"{source}->{destination}")
+        elif action.kind == _schedule.DELAY_END:
+            source, destination = self._resolve_link(action)
+            saved = self._saved_latencies.pop((source, destination), None)
+            if saved is not None:
+                self.network.link(source, destination).latency = saved
+            self._note("delay_end", f"{source}->{destination}")
+        else:
+            raise ConfigurationError(
+                f"unknown fault action kind {action.kind!r}")
+
+    def _set_partition(self, action: FaultAction, up: bool) -> None:
+        groups = [[self._resolve_target(name) for name in group]
+                  for group in action.groups or ()]
+        for index, group in enumerate(groups):
+            for other in groups[index + 1:]:
+                for a in group:
+                    for b in other:
+                        self.network.link(a, b).up = up
+                        self.network.link(b, a).up = up
+        label = " | ".join(",".join(group) for group in groups)
+        self._note("partition_end" if up else "partition_start", label)
+
+    # ------------------------------------------------------------------
+    # Target resolution
+    # ------------------------------------------------------------------
+
+    def _resolve_target(self, target: str | None,
+                        binding: str | None = None) -> str:
+        """Resolve a name or alias to a concrete node name.
+
+        ``binding="bind"`` records what an alias resolved to (crash);
+        ``binding="consume"`` prefers the recorded binding (recover), so
+        the pair operates on the same physical node.
+        """
+        if target is None:
+            raise ConfigurationError("fault action has no target")
+        if not target.startswith(ALIAS_PREFIX):
+            return target
+        if binding == "consume" and target in self._alias_bindings:
+            return self._alias_bindings.pop(target)
+        if self._resolve_alias is None:
+            raise ConfigurationError(
+                f"alias target {target!r} needs an alias resolver")
+        name = self._resolve_alias(target)
+        if name is None:
+            raise ConfigurationError(
+                f"alias {target!r} did not resolve to a live node at "
+                f"t={self.sim.now:g}")
+        if binding == "bind":
+            self._alias_bindings[target] = name
+        return name
+
+    def _resolve_link(self, action: FaultAction) -> tuple[str, str]:
+        link = typing.cast("tuple[str, str]", action.link)
+        return (self._resolve_target(link[0]),
+                self._resolve_target(link[1]))
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def _note(self, kind: str, target: str) -> None:
+        self.injected.append((self.sim.now, kind, target))
+        if self._metrics is not None:
+            self._metrics.runtime_event(f"fault.{kind}", target)

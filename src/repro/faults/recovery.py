@@ -1,0 +1,180 @@
+"""Recovery analysis: what a fault cost and how fast the network healed.
+
+Computed purely from the :class:`~repro.metrics.collector.MetricsCollector`
+state after a run — the per-transaction lifecycle records plus the runtime
+event log (leader elections, fault injections) — so it composes with any
+fault schedule and stays deterministic.
+
+The three headline quantities mirror what operators watch during a real
+orderer failover:
+
+- **time to re-election** — first leader-election event after the fault
+  (Raft ``leader_ready``, or a ZooKeeper partition-leader announcement);
+- **throughput dip** — committed-transaction rate bucketed over time; the
+  dip's *depth* is the worst bucket relative to the pre-fault steady state
+  and its *duration* runs until the rate is back within tolerance;
+- **unrecovered transactions** — of the transactions in flight when the
+  fault hit, how many never reached a commit despite client resubmission.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.common.types import ValidationCode
+from repro.metrics.stats import mean
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics.collector import MetricsCollector, RuntimeEvent
+
+#: Event kinds that mark a consensus leader becoming usable again.
+ELECTION_EVENT_KINDS = ("raft.leader_ready", "kafka.partition_leader")
+
+#: A post-fault bucket counts as recovered at >= (1 - tolerance) * pre rate.
+RECOVERY_TOLERANCE = 0.10
+
+
+@dataclasses.dataclass
+class RecoveryReport:
+    """Recovery metrics for one fault injected at ``fault_time``."""
+
+    fault_time: float
+    window: tuple[float, float]
+    bucket: float
+    time_to_reelection: float | None
+    pre_fault_throughput: float
+    dip_throughput: float
+    dip_depth: float                # 1 - dip/pre (0 = no dip, 1 = full stall)
+    dip_duration: float | None      # fault -> rate back within tolerance
+    post_recovery_throughput: float
+    inflight_at_fault: int
+    inflight_recovered: int
+    unrecovered_txs: int
+    resubmissions: int
+
+    @property
+    def recovered_fraction(self) -> float:
+        """Fraction of fault-time in-flight transactions that committed."""
+        if self.inflight_at_fault == 0:
+            return 1.0
+        return self.inflight_recovered / self.inflight_at_fault
+
+    @property
+    def throughput_recovered(self) -> bool:
+        """Did the rate return to within tolerance of the pre-fault rate?"""
+        if self.pre_fault_throughput <= 0:
+            return True
+        return (self.post_recovery_throughput
+                >= (1.0 - RECOVERY_TOLERANCE) * self.pre_fault_throughput)
+
+    def render(self) -> str:
+        reelect = ("-" if self.time_to_reelection is None
+                   else f"{self.time_to_reelection * 1000:.0f} ms")
+        dip_duration = ("not recovered" if self.dip_duration is None
+                        else f"{self.dip_duration:.2f} s")
+        lines = [
+            f"fault at t={self.fault_time:g}s "
+            f"(window {self.window[0]:g}..{self.window[1]:g}s, "
+            f"{self.bucket:g}s buckets)",
+            f"  time to re-election:      {reelect}",
+            f"  pre-fault throughput:     "
+            f"{self.pre_fault_throughput:.1f} tx/s",
+            f"  dip throughput:           {self.dip_throughput:.1f} tx/s "
+            f"(depth {self.dip_depth * 100:.0f}%)",
+            f"  dip duration:             {dip_duration}",
+            f"  post-recovery throughput: "
+            f"{self.post_recovery_throughput:.1f} tx/s "
+            f"({'within' if self.throughput_recovered else 'OUTSIDE'} "
+            f"{RECOVERY_TOLERANCE * 100:.0f}% of pre-fault)",
+            f"  in-flight at fault:       {self.inflight_at_fault} tx, "
+            f"{self.inflight_recovered} recovered "
+            f"({self.recovered_fraction * 100:.1f}%)",
+            f"  unrecovered transactions: {self.unrecovered_txs}",
+            f"  client resubmissions:     {self.resubmissions}",
+        ]
+        return "\n".join(lines)
+
+
+def compute_recovery(metrics: "MetricsCollector", fault_time: float,
+                     window: tuple[float, float],
+                     bucket: float = 0.5) -> RecoveryReport:
+    """Analyse one fault's impact over the measurement ``window``."""
+    start, end = window
+    records = list(metrics.records.values())
+
+    # -- committed-rate time series ------------------------------------
+    commit_times = sorted(
+        r.committed for r in records
+        if r.committed is not None and start <= r.committed < end
+        and r.validation_code is ValidationCode.VALID)
+    pre_rates = _bucket_rates(commit_times, start, fault_time, bucket)
+    post_edges, post_rates = _bucket_series(commit_times, fault_time, end,
+                                            bucket)
+    pre_rate = mean(pre_rates) if pre_rates else 0.0
+    dip_rate = min(post_rates) if post_rates else 0.0
+
+    # -- dip duration: first post-fault bucket back within tolerance ----
+    dip_duration: float | None = None
+    threshold = (1.0 - RECOVERY_TOLERANCE) * pre_rate
+    recovered_from = end
+    for edge, rate in zip(post_edges, post_rates):
+        if rate >= threshold:
+            dip_duration = (edge + bucket) - fault_time
+            recovered_from = edge
+            break
+    post_recovery = [rate for edge, rate in zip(post_edges, post_rates)
+                     if edge >= recovered_from]
+    post_recovery_rate = mean(post_recovery) if post_recovery else 0.0
+
+    # -- in-flight accounting -------------------------------------------
+    inflight = [r for r in records
+                if r.submitted is not None and r.submitted <= fault_time
+                and (r.committed is None or r.committed > fault_time)
+                and (r.rejected is None or r.rejected > fault_time)]
+    recovered = sum(1 for r in inflight if r.committed is not None)
+    unrecovered = sum(1 for r in records
+                      if r.submitted is not None
+                      and r.rejected is not None and r.committed is None)
+    resubmissions = sum(r.resubmits for r in records)
+
+    return RecoveryReport(
+        fault_time=fault_time, window=window, bucket=bucket,
+        time_to_reelection=_time_to_reelection(metrics.events, fault_time),
+        pre_fault_throughput=pre_rate,
+        dip_throughput=dip_rate,
+        dip_depth=(1.0 - dip_rate / pre_rate) if pre_rate > 0 else 0.0,
+        dip_duration=dip_duration,
+        post_recovery_throughput=post_recovery_rate,
+        inflight_at_fault=len(inflight),
+        inflight_recovered=recovered,
+        unrecovered_txs=unrecovered,
+        resubmissions=resubmissions)
+
+
+def _time_to_reelection(events: "list[RuntimeEvent]",
+                        fault_time: float) -> float | None:
+    """Delay from the fault to the first subsequent election event."""
+    candidates = [event.time - fault_time for event in events
+                  if event.kind in ELECTION_EVENT_KINDS
+                  and event.time > fault_time]
+    return min(candidates) if candidates else None
+
+
+def _bucket_series(times: list[float], start: float, end: float,
+                   bucket: float) -> tuple[list[float], list[float]]:
+    """(bucket start edges, rates) for complete buckets in [start, end)."""
+    edges: list[float] = []
+    rates: list[float] = []
+    edge = start
+    while edge + bucket <= end:
+        count = sum(1 for t in times if edge <= t < edge + bucket)
+        edges.append(edge)
+        rates.append(count / bucket)
+        edge += bucket
+    return edges, rates
+
+
+def _bucket_rates(times: list[float], start: float, end: float,
+                  bucket: float) -> list[float]:
+    return _bucket_series(times, start, end, bucket)[1]

@@ -1,0 +1,184 @@
+"""Declarative fault schedules: what breaks, when, and for how long.
+
+A :class:`FaultSchedule` is a validated, time-ordered list of
+:class:`FaultAction` items built through a small fluent API::
+
+    schedule = (FaultSchedule()
+                .crash("osn1", at=6.0)
+                .recover("osn1", at=10.0)
+                .partition([["peer0"], ["peer1", "peer2"]], start=4.0, end=5.0)
+                .delay(("client0", "peer0"), factor=10.0, start=3.0, end=4.0))
+
+Targets are node names, or *aliases* resolved at injection time by the
+network that executes the schedule:
+
+- ``"@leader"`` — the current consensus leader (Raft leader OSN, Kafka
+  partition-leader broker, or the solo OSN).
+
+The schedule itself is pure data; :class:`repro.faults.injector.FaultInjector`
+executes it against a live simulation.  Because actions fire at fixed
+simulated times and all randomness stays in the seeded RNG registry,
+injected faults replay byte-identically under ``repro check-determinism``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.common.errors import ConfigurationError
+
+#: Alias prefix: targets starting with "@" are resolved at injection time.
+ALIAS_PREFIX = "@"
+
+CRASH = "crash"
+RECOVER = "recover"
+PARTITION_START = "partition_start"
+PARTITION_END = "partition_end"
+DELAY_START = "delay_start"
+DELAY_END = "delay_end"
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultAction:
+    """One scheduled fault transition at a fixed simulated time."""
+
+    kind: str
+    at: float
+    #: Node name or alias for crash/recover.
+    target: str | None = None
+    #: Groups of node names for partitions (traffic between groups drops).
+    groups: tuple[tuple[str, ...], ...] | None = None
+    #: Directed-pair endpoints for link-delay faults.
+    link: tuple[str, str] | None = None
+    #: Latency multiplier for delay faults.
+    factor: float | None = None
+
+    def describe(self) -> str:
+        if self.kind in (CRASH, RECOVER):
+            return f"{self.kind}({self.target}) @ {self.at:g}s"
+        if self.kind in (PARTITION_START, PARTITION_END):
+            groups = " | ".join(",".join(g) for g in self.groups or ())
+            return f"{self.kind}([{groups}]) @ {self.at:g}s"
+        return (f"{self.kind}({self.link[0]}->{self.link[1]} "
+                f"x{self.factor:g}) @ {self.at:g}s")
+
+
+class FaultSchedule:
+    """A validated, buildable timeline of fault actions."""
+
+    def __init__(self) -> None:
+        self._actions: list[FaultAction] = []
+
+    # ------------------------------------------------------------------
+    # Builder API
+    # ------------------------------------------------------------------
+
+    def crash(self, target: str, at: float) -> "FaultSchedule":
+        """Fail-stop ``target`` (a node name or alias) at time ``at``."""
+        self._check_target(target)
+        self._check_time(at)
+        self._actions.append(FaultAction(kind=CRASH, at=at, target=target))
+        return self
+
+    def recover(self, target: str, at: float) -> "FaultSchedule":
+        """Bring ``target`` back at time ``at``.
+
+        An alias target recovers the node the same alias *crashed* (the
+        binding is remembered by the injector), so ``crash("@leader")``
+        followed by ``recover("@leader")`` revives the deposed leader even
+        though a new one has been elected in between.
+        """
+        self._check_target(target)
+        self._check_time(at)
+        self._actions.append(FaultAction(kind=RECOVER, at=at, target=target))
+        return self
+
+    def partition(self, groups: typing.Sequence[typing.Sequence[str]],
+                  start: float, end: float) -> "FaultSchedule":
+        """Drop all traffic *between* groups during ``[start, end)``.
+
+        Traffic within a group is unaffected.  Nodes not named in any group
+        keep full connectivity.
+        """
+        if len(groups) < 2:
+            raise ConfigurationError(
+                "a partition needs at least two groups")
+        frozen = tuple(tuple(group) for group in groups)
+        for group in frozen:
+            if not group:
+                raise ConfigurationError("partition groups must be non-empty")
+            for name in group:
+                self._check_target(name)
+        seen: set[str] = set()
+        for group in frozen:
+            for name in group:
+                if name in seen:
+                    raise ConfigurationError(
+                        f"node {name!r} appears in two partition groups")
+                seen.add(name)
+        self._check_window(start, end)
+        self._actions.append(FaultAction(
+            kind=PARTITION_START, at=start, groups=frozen))
+        self._actions.append(FaultAction(
+            kind=PARTITION_END, at=end, groups=frozen))
+        return self
+
+    def delay(self, link: tuple[str, str], factor: float,
+              start: float, end: float) -> "FaultSchedule":
+        """Multiply the directed link's latency by ``factor`` in the window."""
+        source, destination = link
+        self._check_target(source)
+        self._check_target(destination)
+        if factor <= 0:
+            raise ConfigurationError(
+                f"delay factor must be positive, got {factor}")
+        self._check_window(start, end)
+        self._actions.append(FaultAction(
+            kind=DELAY_START, at=start, link=(source, destination),
+            factor=factor))
+        self._actions.append(FaultAction(
+            kind=DELAY_END, at=end, link=(source, destination),
+            factor=factor))
+        return self
+
+    # ------------------------------------------------------------------
+    # Consumption
+    # ------------------------------------------------------------------
+
+    def timeline(self) -> list[FaultAction]:
+        """All actions sorted by time (stable for same-time actions)."""
+        return sorted(self._actions, key=lambda action: action.at)
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def __bool__(self) -> bool:
+        return bool(self._actions)
+
+    def describe(self) -> str:
+        return "\n".join(action.describe() for action in self.timeline())
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_target(target: str) -> None:
+        if not target or not isinstance(target, str):
+            raise ConfigurationError(
+                f"fault target must be a non-empty name, got {target!r}")
+
+    @staticmethod
+    def _check_time(at: float) -> None:
+        if at < 0:
+            raise ConfigurationError(
+                f"fault time must be >= 0, got {at}")
+
+    @classmethod
+    def _check_window(cls, start: float, end: float) -> None:
+        cls._check_time(start)
+        if end <= start:
+            raise ConfigurationError(
+                f"fault window must end after it starts "
+                f"({start} .. {end})")

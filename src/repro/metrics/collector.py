@@ -38,6 +38,7 @@ class TxRecord:
     rejected: float | None = None     # client gave up (timeout/failure)
     reject_reason: str = ""
     validation_code: ValidationCode | None = None
+    resubmits: int = 0                # client retry attempts consumed
 
     @property
     def execute_latency(self) -> float | None:
@@ -77,6 +78,16 @@ class TxRecord:
 
 
 @dataclasses.dataclass
+class RuntimeEvent:
+    """A timestamped consensus / fault event (elections, injections)."""
+
+    time: float
+    kind: str       # e.g. "raft.leader_ready", "fault.crash"
+    node: str
+    detail: str = ""
+
+
+@dataclasses.dataclass
 class PhaseMetrics:
     """Aggregates over a measurement window."""
 
@@ -111,6 +122,7 @@ class MetricsCollector:
         self._sim = sim
         self._records: dict[str, TxRecord] = {}
         self._block_cuts: list[tuple[float, int, str]] = []  # (t, size, osn)
+        self._events: list[RuntimeEvent] = []
 
     # ------------------------------------------------------------------
     # Event recording (called by clients, orderers, peers)
@@ -130,7 +142,12 @@ class MetricsCollector:
         self.record(tx_id).endorsed = self._sim.now
 
     def tx_broadcast(self, tx_id: str) -> None:
-        self.record(tx_id).broadcast = self._sim.now
+        record = self.record(tx_id)
+        if record.broadcast is None:  # resubmissions keep the first attempt
+            record.broadcast = self._sim.now
+
+    def tx_resubmitted(self, tx_id: str) -> None:
+        self.record(tx_id).resubmits += 1
 
     def tx_ordered(self, tx_id: str) -> None:
         record = self.record(tx_id)
@@ -157,6 +174,11 @@ class MetricsCollector:
     def block_cut(self, size: int, orderer: str) -> None:
         self._block_cuts.append((self._sim.now, size, orderer))
 
+    def runtime_event(self, kind: str, node: str, detail: str = "") -> None:
+        """Record a consensus/fault event (leader elections, injections)."""
+        self._events.append(RuntimeEvent(
+            time=self._sim.now, kind=kind, node=node, detail=detail))
+
     # ------------------------------------------------------------------
     # Aggregation
     # ------------------------------------------------------------------
@@ -168,6 +190,10 @@ class MetricsCollector:
     @property
     def block_cuts(self) -> list[tuple[float, int, str]]:
         return list(self._block_cuts)
+
+    @property
+    def events(self) -> list[RuntimeEvent]:
+        return list(self._events)
 
     def _in_window(self, timestamp: float | None, start: float,
                    end: float) -> bool:

@@ -37,6 +37,8 @@ class ChannelChain:
         self.subscribers: list[str] = []
         self.timer_epoch = 0
         self.blocks_cut = 0
+        #: Delivered blocks by number, kept for peer redelivery requests.
+        self.delivered: dict[int, Block] = {}
 
 
 def _as_channel_list(channel: str | typing.Sequence[str]) -> list[str]:
@@ -68,6 +70,7 @@ class OrderingServiceNode(NodeBase):
         self.envelopes_received = 0
         self.on("broadcast", self._handle_broadcast)
         self.on("deliver_subscribe", self._handle_subscribe)
+        self.on("deliver_resend", self._handle_deliver_resend)
 
     # ------------------------------------------------------------------
     # Channel accessors
@@ -123,6 +126,18 @@ class OrderingServiceNode(NodeBase):
             chain = self.chains.get(channel)
             if chain is not None and message.source not in chain.subscribers:
                 chain.subscribers.append(message.source)
+        return
+        yield  # pragma: no cover - handler protocol requires a generator
+
+    def _handle_deliver_resend(self, message: Message):
+        """Resend one already-delivered block (peer-side drop recovery)."""
+        chain = self.chains.get(message.payload["channel"])
+        if chain is None:
+            return
+        block = chain.delivered.get(message.payload["number"])
+        if block is not None:
+            self.send(message.source, "block", block,
+                      size=block.wire_size())
         return
         yield  # pragma: no cover - handler protocol requires a generator
 
@@ -219,6 +234,7 @@ class OrderingServiceNode(NodeBase):
             self.context.metrics.tx_ordered(envelope.tx_id)
 
     def _deliver_block(self, chain: ChannelChain, block: Block) -> None:
+        chain.delivered[block.number] = block
         for subscriber in chain.subscribers:
             self.send(subscriber, "block", block, size=block.wire_size())
 

@@ -61,6 +61,15 @@ class KafkaOSN(OrderingServiceNode):
     # ------------------------------------------------------------------
 
     def _submit(self, envelope: TransactionEnvelope):
+        if self.partition_leader is None:
+            # No partition leader (cluster still electing): fail fast so
+            # the client can back off and resubmit instead of burning its
+            # full ordering timeout.  Mirrors the Raft no-leader nack.
+            client = self._pending_acks.pop(envelope.tx_id, None)
+            if client is not None:
+                self.send(client, "broadcast_nack",
+                          {"tx_id": envelope.tx_id, "reason": "no leader"})
+            return
         yield from self._produce(envelope.channel, ("tx", envelope),
                                  envelope.wire_size())
 

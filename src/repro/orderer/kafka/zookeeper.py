@@ -218,6 +218,9 @@ class ZooKeeperEnsemble:
                 return
             self.partition_leader = candidates[0]
             self.leader_epoch += 1
+            self.context.metrics.runtime_event(
+                "kafka.partition_leader", via.name,
+                detail=self.partition_leader)
             for watcher in self._watchers:
                 via.send(watcher, "partition_leader",
                          {"leader": self.partition_leader,

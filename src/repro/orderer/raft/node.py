@@ -92,6 +92,22 @@ class RaftNode:
             self._started = True
             self._reset_election_timer()
 
+    def on_recover(self) -> None:
+        """Rejoin as a follower after a fail-stop crash (log intact).
+
+        All timers that were pending when the node crashed have fired and
+        bailed on the ``owner.crashed`` check, so the election timer must be
+        re-armed or the node would never participate again.
+        """
+        if not self._started:
+            return
+        if self.state is not RaftState.FOLLOWER:
+            self.state = RaftState.FOLLOWER
+            self._heartbeat_epoch += 1
+        self._set_leader(None)
+        self.votes_received = set()
+        self._reset_election_timer()
+
     @property
     def is_leader(self) -> bool:
         return self.state is RaftState.LEADER

@@ -59,6 +59,16 @@ class RaftOSN(OrderingServiceNode):
         super().start()
         self.raft.start()
 
+    def recover(self) -> None:
+        """Rejoin the cluster after a fail-stop crash.
+
+        The base recovery restores traffic; the Raft timers all died while
+        crashed (each fires once and checks ``owner.crashed``), so the
+        consenter must re-arm its election timer to rejoin as a follower.
+        """
+        super().recover()
+        self.raft.on_recover()
+
     # ------------------------------------------------------------------
     # Envelope intake
     # ------------------------------------------------------------------
@@ -69,7 +79,14 @@ class RaftOSN(OrderingServiceNode):
         elif self.raft.leader_id is not None:
             self.send(self.raft.leader_id, "raft_forward", envelope,
                       size=envelope.wire_size())
-        # No known leader: drop; the client's ordering timeout handles it.
+        else:
+            # No known leader (mid-election): tell the client immediately so
+            # it can back off and resubmit rather than burn its full
+            # ordering timeout discovering nothing happened.
+            client = self._pending_acks.pop(envelope.tx_id, None)
+            if client is not None:
+                self.send(client, "broadcast_nack",
+                          {"tx_id": envelope.tx_id, "reason": "no leader"})
 
     def _handle_forward(self, message: Message):
         if not self.raft.is_leader:
@@ -145,6 +162,8 @@ class RaftOSN(OrderingServiceNode):
         if kind == "noop":
             if self.raft.is_leader and value == self.raft.current_term:
                 self.leader_ready = True
+                self.context.metrics.runtime_event(
+                    "raft.leader_ready", self.name, detail=f"term={value}")
                 self._sync_chain_tails()
                 if self._preterm_queue:
                     backlog, self._preterm_queue = self._preterm_queue, []

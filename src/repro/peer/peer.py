@@ -54,10 +54,13 @@ class PeerNode(NodeBase):
                              name=f"{self.name}.disk")
         # tx_id -> client node to notify on commit.
         self._listeners: dict[str, str] = {}
+        #: The OSN this peer's deliver stream comes from (redelivery source).
+        self.deliver_source: str | None = None
         self.on("proposal", self._handle_proposal)
         self.on("block", self._handle_block)
         self.on("gossip_block", self._handle_gossip_block)
         self.on("register_listener", self._handle_register_listener)
+        self.on("deregister_listener", self._handle_deregister_listener)
 
     # ------------------------------------------------------------------
     # Channel membership
@@ -79,8 +82,20 @@ class PeerNode(NodeBase):
     def subscribe_to_orderer(self, osn_name: str,
                              channels: list[str] | None = None) -> None:
         """Open the deliver stream from an ordering service node."""
+        self.deliver_source = osn_name
         self.send(osn_name, "deliver_subscribe",
                   {"channels": channels or self.channels})
+
+    def request_redelivery(self, channel: str, number: int) -> None:
+        """Ask the deliver source to resend one block (drop recovery).
+
+        A no-op when the peer has no deliver stream (gossip-only peers get
+        their blocks re-gossiped instead).
+        """
+        if self.deliver_source is None:
+            return
+        self.send(self.deliver_source, "deliver_resend",
+                  {"channel": channel, "number": number})
 
     @property
     def channels(self) -> list[str]:
@@ -161,6 +176,17 @@ class PeerNode(NodeBase):
         self._listeners[tx_id] = message.source
         return
         yield  # pragma: no cover
+
+    def _handle_deregister_listener(self, message):
+        """Client withdrew a commit listener (timed-out attempt)."""
+        self._listeners.pop(message.payload["tx_id"], None)
+        return
+        yield  # pragma: no cover
+
+    @property
+    def listener_count(self) -> int:
+        """Registered commit listeners (leak detection in tests)."""
+        return len(self._listeners)
 
     def notify_commit(self, tx_id: str, code: ValidationCode) -> None:
         """Called by a validator when a transaction commits."""

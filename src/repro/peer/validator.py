@@ -73,6 +73,12 @@ def _mvcc_verdict(ledger: Ledger, envelope: TransactionEnvelope,
 class BlockValidator:
     """Per-(peer, channel) validation pipeline with in-order commit."""
 
+    #: Seconds a height gap may persist before re-requesting the block.
+    REDELIVER_TIMEOUT = 1.0
+    #: Re-request attempts per gap before giving up (bounds the event loop
+    #: when the deliver source is permanently gone).
+    MAX_REDELIVER_ATTEMPTS = 30
+
     def __init__(self, peer: "PeerNode", policy: EndorsementPolicy,
                  ledger: Ledger) -> None:
         self._peer = peer
@@ -85,7 +91,10 @@ class BlockValidator:
         # Blocks must commit in order; out-of-order arrivals wait here.
         self._pending: dict[int, Block] = {}
         self._committing = False
+        self._gap_epoch = 0
         self.blocks_validated = 0
+        self.blocks_dropped = 0
+        self.redelivery_requests = 0
         self.txs_valid = 0
         self.txs_invalid = 0
 
@@ -116,6 +125,49 @@ class BlockValidator:
                 yield from self._validate_and_commit(block)
         finally:
             self._committing = False
+            self._watch_gap()
+
+    # ------------------------------------------------------------------
+    # Drop recovery
+    # ------------------------------------------------------------------
+
+    def _watch_gap(self) -> None:
+        """Arm a watcher when pending blocks are stuck ahead of a gap.
+
+        A block can go missing from the deliver stream (dropped in the
+        network while the peer or link was down, or discarded as forged);
+        later blocks then queue in ``_pending`` forever because commits are
+        strictly in order.  The watcher re-requests the missing height from
+        the deliver path after :attr:`REDELIVER_TIMEOUT` and re-arms while
+        the gap persists.
+        """
+        self._gap_epoch += 1
+        if not self._pending or self._committing:
+            return
+        if self.ledger.height in self._pending:
+            return  # drain is about to pick it up
+        if self._peer.deliver_source is None:
+            return  # nowhere to re-request from (gossip-only peer)
+        self._peer.sim.process(
+            self._gap_watcher(self._gap_epoch, self.ledger.height, 0))
+
+    def _gap_watcher(self, epoch: int, height: int, attempts: int):
+        yield self._peer.sim.timeout(self.REDELIVER_TIMEOUT)
+        if epoch != self._gap_epoch or self._committing:
+            return  # progress was made (or another watcher armed)
+        if self.ledger.height != height or not self._pending:
+            return
+        if height in self._pending:
+            return
+        if attempts >= self.MAX_REDELIVER_ATTEMPTS:
+            return
+        self.redelivery_requests += 1
+        self._peer.request_redelivery(self.ledger.channel, height)
+        # Re-arm: keep asking until the gap closes (the deliver source
+        # itself may still be electing or recovering).
+        self._gap_epoch += 1
+        self._peer.sim.process(
+            self._gap_watcher(self._gap_epoch, height, attempts + 1))
 
     def _validate_and_commit(self, block: Block):
         # The serial sections (signature check, MVCC, commit) belong to the
@@ -140,8 +192,15 @@ class BlockValidator:
             signature = block.metadata.signature
             if signature is None or not peer.msp.verify_signature(
                     signature, block.header_bytes(), peer.identity.msp_id):
+                # Forged block: drop it entirely.  The height stays put, so
+                # ask the deliver path to resend the genuine block at this
+                # number — otherwise every later block wedges in _pending.
                 span.annotate(outcome="forged")
-                return  # forged block: drop it entirely
+                self.blocks_dropped += 1
+                if peer.deliver_source is not None:
+                    self.redelivery_requests += 1
+                    peer.request_redelivery(block.channel, block.number)
+                return
             # 2. VSCC in parallel across the worker pool (the committer
             #    slot is released so every worker can serve VSCC jobs).
             flags: list[ValidationCode | None] = (

@@ -341,6 +341,50 @@ def test_sl008_quiet_on_class_attributes():
 
 
 # ----------------------------------------------------------------------
+# SL009 — direct mutation of node.crashed
+# ----------------------------------------------------------------------
+
+def test_sl009_fires_on_direct_crashed_assignment():
+    diags = lint("node.crashed = True\n")
+    assert [d.rule for d in diags] == ["SL009"]
+    assert diags[0].severity is Severity.ERROR
+    assert "crash()" in diags[0].message
+
+
+def test_sl009_fires_on_self_crashed_in_protocol_code():
+    source = """
+    class Broker:
+        def die(self):
+            self.crashed = True
+    """
+    assert rules_fired(source,
+                       relpath="orderer/kafka/broker.py") == ["SL009"]
+
+
+def test_sl009_fires_on_annotated_and_augmented_assignment():
+    assert rules_fired("self.crashed: bool = True\n") == ["SL009"]
+    assert rules_fired("node.crashed |= True\n") == ["SL009"]
+
+
+def test_sl009_quiet_in_the_crash_api_and_fault_injector():
+    assert rules_fired("self.crashed = True\n",
+                       relpath="runtime/node.py") == []
+    assert rules_fired("node.crashed = True\n",
+                       relpath="faults/injector.py") == []
+
+
+def test_sl009_quiet_on_reads_and_crash_calls():
+    source = """
+    def poke(node):
+        if node.crashed:
+            return
+        node.crash()
+        node.recover()
+    """
+    assert rules_fired(source) == []
+
+
+# ----------------------------------------------------------------------
 # Suppressions
 # ----------------------------------------------------------------------
 

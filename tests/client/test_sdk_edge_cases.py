@@ -57,9 +57,12 @@ def test_orderer_nack_records_rejection():
     process = client.invoke("noop", "write", ["k", "v"])
     network.sim.run(until=10.0)
     tx_id, outcome = process.value
-    assert outcome == "ordering timeout"
+    # The nack fails the attempt fast — well before the 3 s timeout —
+    # and a non-retryable reason is recorded as the rejection.
+    assert outcome == "orderer nack: bad channel"
     record = network.metrics.records[tx_id]
-    assert "nack" in record.reject_reason or "timeout" in record.reject_reason
+    assert record.rejected is not None and record.rejected < 4.0
+    assert "nack" in record.reject_reason
 
 
 def test_client_counts_match_metrics():

@@ -1,0 +1,97 @@
+"""Client failover/retry behavior and commit-listener hygiene under faults."""
+
+import pytest
+
+from tests.client.test_sdk import tiny_network
+
+
+def test_listener_maps_stay_bounded_under_sustained_ordering_timeouts():
+    # The seeded leak: every timed-out attempt used to leave its commit
+    # listener registered at the anchor peer forever.
+    network = tiny_network(ordering_timeout=1.0)
+    network.orderer.nodes[0].crash()
+    client = network.clients[0]
+    processes = [client.invoke("noop", "write", [f"k{i}", "v"])
+                 for i in range(5)]
+    network.sim.run(until=20.0)
+    assert all(p.value[1] == "ordering timeout" for p in processes)
+    assert client.rejected == 5
+    for peer in network.peers:
+        assert peer.listener_count == 0
+
+
+def test_endorsement_deadline_is_independent_of_ordering_deadline():
+    # Historically one knob covered both phases; a dead endorser now fails
+    # at the endorsement deadline, not the (longer) ordering one.
+    network = tiny_network(endorsement_timeout=0.5, ordering_timeout=3.0)
+    for peer in network.peers:
+        peer.crash()
+    client = network.clients[0]
+    process = client.invoke("noop", "write", ["k", "v"])
+    network.sim.run(until=10.0)
+    tx_id, outcome = process.value
+    assert outcome == "endorsement timeout"
+    record = network.metrics.records[tx_id]
+    assert record.rejected == pytest.approx(0.5, abs=0.3)
+
+
+def test_resubmission_recovers_after_orderer_restart():
+    network = tiny_network(batch_size=1, ordering_timeout=1.0,
+                           max_resubmits=3)
+    # Let the peers' deliver subscriptions reach the OSN before killing it.
+    network.sim.run(until=0.5)
+    osn = network.orderer.nodes[0]
+    osn.crash()
+
+    def revive():
+        yield network.sim.timeout(1.0)
+        osn.recover()
+
+    network.sim.process(revive())
+    client = network.clients[0]
+    process = client.invoke("noop", "write", ["k", "v"])
+    network.sim.run(until=30.0)
+    tx_id, outcome = process.value
+    assert outcome == "committed"
+    assert client.resubmissions >= 1
+    record = network.metrics.records[tx_id]
+    assert record.resubmits >= 1
+    assert record.committed is not None
+    # The broadcast timestamp is the FIRST attempt's, so retry latency is
+    # charged to the transaction rather than hidden by the resubmission.
+    assert record.broadcast < 1.5 < record.committed
+    # The failed attempts' listeners were withdrawn; the successful one
+    # was consumed by the commit notification.
+    for peer in network.peers:
+        assert peer.listener_count == 0
+
+
+def test_no_leader_nack_is_retried_until_election_completes():
+    # Submit at t=0, before the first Raft election: the OSN nacks with
+    # "no leader" instead of silently dropping, and the client's bounded
+    # backoff rides out the election.
+    network = tiny_network(kind="raft", batch_size=1, max_resubmits=5,
+                           ordering_timeout=3.0)
+    client = network.clients[0]
+    process = client.invoke("noop", "write", ["k", "v"])
+    network.sim.run(until=30.0)
+    tx_id, outcome = process.value
+    assert outcome == "committed"
+    assert client.resubmissions >= 1
+    assert client.rejected == 0
+    assert network.metrics.records[tx_id].resubmits >= 1
+
+
+def test_failover_rotates_to_a_live_orderer():
+    network = tiny_network(kind="raft", batch_size=1, ordering_timeout=1.0,
+                           max_resubmits=4)
+    # Let the cluster elect a leader before pulling the client's home OSN.
+    network.sim.run(until=2.0)
+    client = network.clients[0]
+    home = client.orderer
+    network.node_named(home).crash()
+    process = client.invoke("noop", "write", ["k", "v"])
+    network.sim.run(until=30.0)
+    assert process.value[1] == "committed"
+    assert client.orderer != home
+    assert client.resubmissions >= 1

@@ -1,0 +1,129 @@
+"""Tests for the fault injector against a bare simulation of plain nodes."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.faults import FaultInjector, FaultSchedule
+from repro.runtime.context import NetworkContext
+from repro.runtime.node import NodeBase
+
+
+def make_rig(names=("a", "b", "c")):
+    context = NetworkContext.create(seed=1)
+    nodes = {name: NodeBase(context, name) for name in names}
+    return context, nodes
+
+
+def make_injector(context, nodes, schedule, resolve_alias=None):
+    return FaultInjector(context.sim, context.network, schedule,
+                         resolve_node=nodes.__getitem__,
+                         resolve_alias=resolve_alias,
+                         metrics=context.metrics)
+
+
+def test_crash_and_recover_flip_node_state_on_schedule():
+    context, nodes = make_rig()
+    schedule = FaultSchedule().crash("a", at=1.0).recover("a", at=2.0)
+    injector = make_injector(context, nodes, schedule)
+    injector.start()
+    context.sim.run(until=1.5)
+    assert nodes["a"].crashed
+    assert not nodes["b"].crashed
+    context.sim.run(until=2.5)
+    assert not nodes["a"].crashed
+    assert injector.injected == [(1.0, "crash", "a"), (2.0, "recover", "a")]
+    assert [(e.time, e.kind, e.node) for e in context.metrics.events] == [
+        (1.0, "fault.crash", "a"), (2.0, "fault.recover", "a")]
+
+
+def test_partition_takes_cross_group_links_down_and_restores_them():
+    context, nodes = make_rig()
+    network = context.network
+    schedule = FaultSchedule().partition([["a"], ["b", "c"]],
+                                         start=1.0, end=2.0)
+    make_injector(context, nodes, schedule).start()
+    context.sim.run(until=1.5)
+    assert not network.link("a", "b").up
+    assert not network.link("b", "a").up
+    assert not network.link("a", "c").up
+    # Intra-group traffic is unaffected.
+    assert network.link("b", "c").up
+    context.sim.run(until=2.5)
+    assert network.link("a", "b").up
+    assert network.link("c", "a").up
+
+
+def test_delay_scales_link_latency_and_restores_the_original():
+    context, nodes = make_rig()
+    link = context.network.link("a", "b")
+    base = link.latency
+    schedule = FaultSchedule().delay(("a", "b"), factor=10.0,
+                                     start=1.0, end=2.0)
+    make_injector(context, nodes, schedule).start()
+    context.sim.run(until=1.5)
+    assert link.latency == pytest.approx(10.0 * base)
+    # The reverse direction is untouched (delays are directed).
+    assert context.network.link("b", "a").latency == pytest.approx(base)
+    context.sim.run(until=2.5)
+    assert link.latency == pytest.approx(base)
+
+
+def test_alias_recover_revives_the_node_the_alias_crashed():
+    context, nodes = make_rig()
+    leader = {"value": "a"}
+    schedule = (FaultSchedule()
+                .crash("@leader", at=1.0)
+                .recover("@leader", at=2.0))
+    injector = make_injector(context, nodes, schedule,
+                             resolve_alias=lambda alias: leader["value"])
+
+    def elect_new_leader():
+        yield context.sim.timeout(1.5)
+        leader["value"] = "b"
+
+    context.sim.process(elect_new_leader())
+    injector.start()
+    context.sim.run(until=3.0)
+    # The recover consumed the crash's binding: "a" (the deposed leader)
+    # came back; "b" (the successor) was never touched.
+    assert not nodes["a"].crashed
+    assert not nodes["b"].crashed
+    assert injector.injected == [(1.0, "crash", "a"), (2.0, "recover", "a")]
+
+
+def test_unresolvable_alias_raises_configuration_error():
+    context, nodes = make_rig()
+    schedule = FaultSchedule().crash("@leader", at=1.0)
+    injector = make_injector(context, nodes, schedule,
+                             resolve_alias=lambda alias: None)
+    injector.start()
+    with pytest.raises(ConfigurationError):
+        context.sim.run(until=2.0)
+
+
+def test_alias_without_resolver_raises():
+    context, nodes = make_rig()
+    schedule = FaultSchedule().crash("@leader", at=1.0)
+    injector = make_injector(context, nodes, schedule, resolve_alias=None)
+    injector.start()
+    with pytest.raises(ConfigurationError):
+        context.sim.run(until=2.0)
+
+
+def test_empty_schedule_start_is_a_no_op():
+    context, nodes = make_rig()
+    injector = make_injector(context, nodes, FaultSchedule())
+    injector.start()
+    context.sim.run(until=1.0)
+    assert injector.injected == []
+    assert context.metrics.events == []
+
+
+def test_start_is_idempotent():
+    context, nodes = make_rig()
+    schedule = FaultSchedule().crash("a", at=1.0)
+    injector = make_injector(context, nodes, schedule)
+    injector.start()
+    injector.start()
+    context.sim.run(until=2.0)
+    assert injector.injected == [(1.0, "crash", "a")]

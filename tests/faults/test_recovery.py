@@ -1,0 +1,107 @@
+"""Tests for the recovery analysis over synthetic metrics state."""
+
+import pytest
+
+from repro.common.types import ValidationCode
+from repro.faults import compute_recovery
+from repro.faults.recovery import RECOVERY_TOLERANCE
+from repro.metrics.collector import MetricsCollector, RuntimeEvent, TxRecord
+from repro.sim.core import Simulation
+
+FAULT = 5.0
+WINDOW = (0.0, 10.0)
+
+
+def committed_record(tx_id, committed, resubmits=0):
+    return TxRecord(tx_id=tx_id, submitted=max(0.0, committed - 0.05),
+                    committed=committed, validated=committed,
+                    validation_code=ValidationCode.VALID,
+                    resubmits=resubmits)
+
+
+def synthetic_metrics():
+    """10 tx/s steady state, full stall in [5, 6.5), recovery after."""
+    metrics = MetricsCollector(Simulation())
+    tick = 0
+    for bucket_start in [b / 10.0 for b in range(0, 50)]:
+        metrics._records[f"pre{tick}"] = committed_record(
+            f"pre{tick}", bucket_start + 0.05)
+        tick += 1
+    for bucket_start in [6.5 + b / 10.0 for b in range(0, 35)]:
+        metrics._records[f"post{tick}"] = committed_record(
+            f"post{tick}", bucket_start + 0.05)
+        tick += 1
+    # Three transactions in flight when the fault hit: two eventually
+    # commit after resubmission, one is never recovered.
+    metrics._records["inflight1"] = TxRecord(
+        tx_id="inflight1", submitted=4.9, committed=6.6,
+        validation_code=ValidationCode.VALID, resubmits=2)
+    metrics._records["inflight2"] = TxRecord(
+        tx_id="inflight2", submitted=4.95, committed=6.7,
+        validation_code=ValidationCode.VALID, resubmits=1)
+    metrics._records["inflight3"] = TxRecord(
+        tx_id="inflight3", submitted=4.8, rejected=6.0,
+        reject_reason="ordering timeout", resubmits=3)
+    metrics._events.append(RuntimeEvent(
+        time=4.0, kind="raft.leader_ready", node="osn0", detail="term=1"))
+    metrics._events.append(RuntimeEvent(
+        time=5.0, kind="fault.crash", node="osn0"))
+    metrics._events.append(RuntimeEvent(
+        time=5.8, kind="raft.leader_ready", node="osn1", detail="term=2"))
+    return metrics
+
+
+def test_compute_recovery_headline_metrics():
+    report = compute_recovery(synthetic_metrics(), FAULT, WINDOW, bucket=0.5)
+    assert report.pre_fault_throughput == pytest.approx(10.0)
+    assert report.dip_throughput == 0.0
+    assert report.dip_depth == pytest.approx(1.0)
+    # The rate is back within tolerance in the bucket starting at 6.5;
+    # the dip runs from the fault to that bucket's end.
+    assert report.dip_duration == pytest.approx(2.0)
+    assert report.post_recovery_throughput >= 10.0
+    assert report.throughput_recovered
+
+
+def test_compute_recovery_reelection_uses_first_event_after_fault():
+    report = compute_recovery(synthetic_metrics(), FAULT, WINDOW)
+    # The pre-fault election and the fault event itself do not count.
+    assert report.time_to_reelection == pytest.approx(0.8)
+
+
+def test_compute_recovery_inflight_accounting():
+    report = compute_recovery(synthetic_metrics(), FAULT, WINDOW)
+    assert report.inflight_at_fault == 3
+    assert report.inflight_recovered == 2
+    assert report.recovered_fraction == pytest.approx(2 / 3)
+    assert report.unrecovered_txs == 1
+    assert report.resubmissions == 6
+
+
+def test_compute_recovery_without_inflight_or_elections():
+    metrics = MetricsCollector(Simulation())
+    metrics._records["only"] = committed_record("only", 1.0)
+    report = compute_recovery(metrics, FAULT, WINDOW)
+    assert report.time_to_reelection is None
+    assert report.inflight_at_fault == 0
+    assert report.recovered_fraction == 1.0  # nothing to recover
+    assert report.unrecovered_txs == 0
+
+
+def test_stalled_run_reports_unrecovered_dip():
+    metrics = MetricsCollector(Simulation())
+    for tick in range(50):
+        metrics._records[f"pre{tick}"] = committed_record(
+            f"pre{tick}", tick / 10.0)
+    report = compute_recovery(metrics, FAULT, WINDOW)
+    assert report.dip_duration is None
+    assert not report.throughput_recovered
+    assert report.dip_depth == pytest.approx(1.0)
+
+
+def test_render_mentions_the_headline_numbers():
+    report = compute_recovery(synthetic_metrics(), FAULT, WINDOW)
+    text = report.render()
+    assert "time to re-election" in text
+    assert "800 ms" in text
+    assert f"{RECOVERY_TOLERANCE * 100:.0f}%" in text

@@ -1,0 +1,62 @@
+"""End-to-end fault scenarios: recovery criteria and same-seed determinism."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.faults import (
+    MIN_RECOVERED_FRACTION,
+    SCENARIOS,
+    check_scenario_determinism,
+    get_scenario,
+    run_fault_scenario,
+)
+
+
+def test_unknown_scenario_raises():
+    with pytest.raises(ConfigurationError):
+        get_scenario("power-outage")
+
+
+def test_scenario_registry_is_keyed_by_name():
+    assert set(SCENARIOS) == {"raft-leader-kill", "kafka-broker-kill"}
+    for name, scenario in SCENARIOS.items():
+        assert scenario.name == name
+        assert len(scenario.build_schedule()) == 2
+
+
+def test_raft_leader_kill_is_deterministic_and_meets_criteria():
+    check = check_scenario_determinism("raft-leader-kill",
+                                       keep_records=False)
+    assert check.report.identical, check.report.render()
+    assert check.results_identical
+    result = check.result
+    assert result.ok, result.render()
+    scenario = result.scenario
+    # The crash was injected on the actual leader at the scheduled time,
+    # and the same node was recovered later.
+    kinds = [(kind, target) for _, kind, target in result.injected]
+    assert kinds[0][0] == "crash"
+    assert kinds[1][0] == "recover"
+    assert kinds[0][1] == kinds[1][1]
+    assert result.injected[0][0] == pytest.approx(scenario.crash_time)
+    # Re-election lands within the election-timeout bound and at least 95%
+    # of the in-flight transactions are recovered by client resubmission.
+    assert result.recovery.time_to_reelection <= scenario.max_reelection
+    assert result.recovery.recovered_fraction >= MIN_RECOVERED_FRACTION
+    assert result.recovery.throughput_recovered
+    assert result.recovery.resubmissions > 0
+
+
+def test_kafka_broker_kill_meets_criteria():
+    result = run_fault_scenario("kafka-broker-kill")
+    assert result.ok, result.render()
+    assert result.recovery.time_to_reelection is not None
+    assert result.recovery.dip_depth > 0  # the fault did bite
+
+
+def test_scenario_render_reports_criteria():
+    result = run_fault_scenario("raft-leader-kill")
+    text = result.render()
+    assert "[ok] raft-leader-kill" in text
+    assert "criteria:" in text
+    assert "re-election" in text

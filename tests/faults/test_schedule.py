@@ -1,0 +1,68 @@
+"""Tests for the declarative fault schedule builder and its validation."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.faults import FaultSchedule
+
+
+def test_builder_produces_time_sorted_timeline():
+    schedule = (FaultSchedule()
+                .recover("osn1", at=10.0)
+                .crash("osn1", at=6.0)
+                .partition([["peer0"], ["peer1"]], start=4.0, end=5.0)
+                .delay(("client0", "peer0"), factor=10.0, start=3.0, end=4.5))
+    times = [action.at for action in schedule.timeline()]
+    assert times == sorted(times)
+    kinds = [action.kind for action in schedule.timeline()]
+    assert kinds == ["delay_start", "partition_start", "delay_end",
+                     "partition_end", "crash", "recover"]
+    assert len(schedule) == 6
+    assert bool(schedule)
+
+
+def test_empty_schedule_is_falsy():
+    schedule = FaultSchedule()
+    assert not schedule
+    assert len(schedule) == 0
+    assert schedule.timeline() == []
+
+
+def test_describe_lists_every_action():
+    schedule = (FaultSchedule()
+                .crash("@leader", at=6.0)
+                .delay(("a", "b"), factor=3.0, start=1.0, end=2.0))
+    text = schedule.describe()
+    assert "crash(@leader) @ 6s" in text
+    assert "delay_start(a->b x3) @ 1s" in text
+    assert "delay_end(a->b x3) @ 2s" in text
+
+
+def test_crash_rejects_empty_target_and_negative_time():
+    with pytest.raises(ConfigurationError):
+        FaultSchedule().crash("", at=1.0)
+    with pytest.raises(ConfigurationError):
+        FaultSchedule().crash("osn0", at=-0.1)
+
+
+def test_partition_needs_two_nonempty_disjoint_groups():
+    with pytest.raises(ConfigurationError):
+        FaultSchedule().partition([["a", "b"]], start=1.0, end=2.0)
+    with pytest.raises(ConfigurationError):
+        FaultSchedule().partition([["a"], []], start=1.0, end=2.0)
+    with pytest.raises(ConfigurationError):
+        FaultSchedule().partition([["a"], ["a", "b"]], start=1.0, end=2.0)
+
+
+def test_windows_must_end_after_they_start():
+    with pytest.raises(ConfigurationError):
+        FaultSchedule().partition([["a"], ["b"]], start=2.0, end=2.0)
+    with pytest.raises(ConfigurationError):
+        FaultSchedule().delay(("a", "b"), factor=2.0, start=3.0, end=1.0)
+
+
+def test_delay_factor_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        FaultSchedule().delay(("a", "b"), factor=0.0, start=1.0, end=2.0)
+    with pytest.raises(ConfigurationError):
+        FaultSchedule().delay(("a", "b"), factor=-2.0, start=1.0, end=2.0)

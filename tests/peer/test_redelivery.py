@@ -1,0 +1,119 @@
+"""Dropped/forged-block recovery: the validator's re-request path."""
+
+from repro.common.types import Block
+from repro.runtime.node import NodeBase
+from tests.peer.helpers import CHANNEL, PeerRig, make_signed_block, write_rwset
+
+
+class StubDeliverSource(NodeBase):
+    """An orderer-shaped node serving only the deliver/resend protocol."""
+
+    def __init__(self, context, name="osn0"):
+        super().__init__(context, name)
+        self.blocks = {}
+        self.resend_requests = []
+        self.on("deliver_subscribe", self._handle_subscribe)
+        self.on("deliver_resend", self._handle_resend)
+
+    def _handle_subscribe(self, message):
+        return
+        yield  # pragma: no cover
+
+    def _handle_resend(self, message):
+        key = (message.payload["channel"], message.payload["number"])
+        self.resend_requests.append(key)
+        block = self.blocks.get(key)
+        if block is not None:
+            self.send(message.source, "block", block, size=2048)
+        return
+        yield  # pragma: no cover
+
+
+def make_rig_with_source():
+    rig = PeerRig(num_peers=1)
+    source = StubDeliverSource(rig.context)
+    source.start()
+    peer = rig.peers[0]
+    peer.subscribe_to_orderer(source.name)
+    return rig, peer, source
+
+
+def chained_signed_block(rig, previous, envelopes):
+    """A correctly signed block chained onto ``previous``."""
+    block = Block(number=previous.number + 1,
+                  previous_hash=previous.header_hash(),
+                  transactions=tuple(envelopes), channel=CHANNEL)
+    block.metadata.orderer = "osn0"
+    block.metadata.signature = rig.ca.crypto.sign("osn0",
+                                                  block.header_bytes())
+    return block
+
+
+def test_forged_block_is_dropped_and_the_genuine_one_rerequested():
+    rig, peer, source = make_rig_with_source()
+    height = peer.ledger.height
+    envelope = rig.make_envelope("tx1", write_rwset("a"), [peer])
+    genuine = make_signed_block(rig, peer, [envelope])
+    # A forgery at the same height: right shape, no orderer signature.
+    forged = Block(number=genuine.number,
+                   previous_hash=genuine.previous_hash,
+                   transactions=genuine.transactions, channel=CHANNEL)
+    source.blocks[(CHANNEL, genuine.number)] = genuine
+
+    peer.validator.submit_block(forged)
+    rig.sim.run(until=5.0)
+
+    assert peer.validator.blocks_dropped == 1
+    assert (CHANNEL, genuine.number) in source.resend_requests
+    # The pipeline unwedged: the genuine block arrived and committed.
+    assert peer.ledger.height == height + 1
+    assert peer.ledger.has_transaction("tx1")
+
+
+def test_gap_watcher_rerequests_a_dropped_block():
+    rig, peer, source = make_rig_with_source()
+    height = peer.ledger.height
+    env1 = rig.make_envelope("tx1", write_rwset("a"), [peer])
+    block1 = make_signed_block(rig, peer, [env1])
+    env2 = rig.make_envelope("tx2", write_rwset("b"), [peer])
+    block2 = chained_signed_block(rig, block1, [env2])
+    # block1 never arrives (dropped in flight); only the source has it.
+    source.blocks[(CHANNEL, block1.number)] = block1
+
+    source.send(peer.name, "block", block2, size=2048)
+    rig.sim.run(until=10.0)
+
+    assert peer.validator.redelivery_requests >= 1
+    assert (CHANNEL, block1.number) in source.resend_requests
+    assert peer.ledger.height == height + 2
+    assert peer.ledger.has_transaction("tx1")
+    assert peer.ledger.has_transaction("tx2")
+
+
+def test_gap_rerequests_are_bounded_when_source_never_answers():
+    rig, peer, source = make_rig_with_source()
+    envelope = rig.make_envelope("tx1", write_rwset("a"), [peer])
+    future = make_signed_block(rig, peer, [envelope],
+                               number=peer.ledger.height + 1)
+
+    peer.validator.submit_block(future)
+    rig.sim.run()  # unbounded: the watcher must terminate on its own
+
+    max_attempts = peer.validator.MAX_REDELIVER_ATTEMPTS
+    assert peer.validator.redelivery_requests == max_attempts
+    assert len(source.resend_requests) == max_attempts
+
+
+def test_gap_without_deliver_source_does_not_spin():
+    rig = PeerRig(num_peers=1)
+    peer = rig.peers[0]
+    assert peer.deliver_source is None
+    height = peer.ledger.height
+    envelope = rig.make_envelope("tx1", write_rwset("a"), [peer])
+    future = make_signed_block(rig, peer, [envelope], number=height + 1)
+
+    peer.validator.submit_block(future)
+    rig.sim.run()  # unbounded: no watcher is armed, the run drains
+
+    assert peer.validator.redelivery_requests == 0
+    assert peer.ledger.height == height
