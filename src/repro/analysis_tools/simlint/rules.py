@@ -13,6 +13,7 @@ SL006     ``==`` / ``!=`` against the float simulation clock
 SL007     ``timeout()`` delays computed by unguarded subtraction
 SL008     module-level mutable state in ``peer/``/``orderer/``/``ledger/``
 SL009     direct mutation of ``node.crashed`` outside the crash API
+SL010     reaching into state-database internals outside the ledger
 ========  ==========================================================
 """
 
@@ -480,9 +481,43 @@ class CrashMutationRule(Rule):
                         "stays consistent")
 
 
+class StateDBInternalsRule(Rule):
+    """SL010: state-database internals stay inside the ledger layer.
+
+    The pluggable backends (``statedb/``) meter every data operation with
+    a simulated cost; code that reaches around the
+    :class:`~repro.statedb.backend.StateBackend` interface — touching the
+    raw ``WorldState`` dict, the prefetch buffer, or the accrued-cost
+    accumulator — reads or writes state *for free*, which silently breaks
+    both the cost model and the cache-coherence invariants.  Only the
+    ``ledger/`` and ``statedb/`` packages may touch these attributes.
+    """
+
+    rule_id = "SL010"
+    severity = Severity.ERROR
+    description = "state-database internals accessed outside the ledger"
+    allowlist_prefixes = ("ledger/", "statedb/")
+    #: The private attributes that make up the backend/world-state rep.
+    _internals = frozenset({
+        "_data", "_sorted_keys", "_store", "_prefetched", "_pending_cost"})
+
+    def check(self, context: FileContext) -> typing.Iterator[Diagnostic]:
+        if context.relpath.startswith(self.allowlist_prefixes):
+            return
+        for node in ast.walk(context.tree):
+            if (isinstance(node, ast.Attribute)
+                    and node.attr in self._internals):
+                label = _dotted_name(node) or node.attr
+                yield context.diagnostic(
+                    self, node,
+                    f"access to state-database internal {label!r}; go "
+                    "through the StateBackend interface so the operation "
+                    "is metered")
+
+
 def default_rules() -> list[Rule]:
-    """The full SL001–SL009 rule set, in id order."""
+    """The full SL001–SL010 rule set, in id order."""
     return [RandomUseRule(), WallClockRule(), UnorderedIterationRule(),
             MutableDefaultRule(), BroadExceptRule(), FloatTimeEqualityRule(),
             TimeoutDelayRule(), ModuleMutableStateRule(),
-            CrashMutationRule()]
+            CrashMutationRule(), StateDBInternalsRule()]

@@ -129,6 +129,45 @@ class WorkloadConfig:
                 "warmup + cooldown must leave a measurement window")
 
 
+STATEDB_KINDS = ("leveldb", "couchdb")
+
+
+@dataclasses.dataclass
+class StateDBConfig:
+    """State-database backend selection and the Thakkar-style toggles.
+
+    ``kind`` picks the cost model: "leveldb" (embedded GoLevelDB — cheap
+    point reads, batched sequential writes) or "couchdb" (out-of-process —
+    per-HTTP-request overhead, revision lookups on write, bulk APIs).
+    ``cache``/``bulk`` enable the read cache and bulk-read/bulk-write
+    batching of Thakkar et al.; ``snapshot_interval`` > 0 takes a state
+    snapshot every N blocks so a recovered peer can catch up from the
+    latest snapshot plus block replay instead of replaying from genesis.
+    """
+
+    kind: str = "leveldb"
+    #: Versioned read cache in the peer, write-through on commit.
+    cache: bool = False
+    cache_size: int = 4096
+    #: Bulk-read the validation read set and bulk-write the commit batch.
+    bulk: bool = False
+    #: Take a snapshot every N committed blocks (0 disables snapshots).
+    snapshot_interval: int = 0
+    #: Model the state DB as lost on crash: a recovering peer rebuilds it
+    #: from the latest snapshot + block replay (or genesis replay).
+    wipe_on_crash: bool = False
+
+    def validate(self) -> None:
+        if self.kind not in STATEDB_KINDS:
+            raise ConfigurationError(
+                f"unknown state database kind {self.kind!r}; "
+                f"expected one of {STATEDB_KINDS}")
+        if self.cache_size < 1:
+            raise ConfigurationError("cache_size must be >= 1")
+        if self.snapshot_interval < 0:
+            raise ConfigurationError("snapshot_interval must be >= 0")
+
+
 @dataclasses.dataclass
 class TopologyConfig:
     """Machine and node placement, mirroring the paper's 20-machine cluster."""
@@ -141,6 +180,9 @@ class TopologyConfig:
     #: them and the ordering service orders each independently (§II).
     extra_channels: list[ChannelConfig] = dataclasses.field(
         default_factory=list)
+    #: State database backend shared by every peer (Fabric configures the
+    #: state DB per peer, but the paper's clusters are homogeneous).
+    statedb: StateDBConfig = dataclasses.field(default_factory=StateDBConfig)
     # 1 Gbps Ethernet; bandwidth in bytes/second.
     network_bandwidth: float = 125_000_000.0
     network_latency: float = 0.00025
@@ -157,6 +199,7 @@ class TopologyConfig:
             raise ConfigurationError("committing-only peer count must be >= 0")
         self.orderer.validate()
         self.channel.validate()
+        self.statedb.validate()
         names = [self.channel.name]
         for channel in self.extra_channels:
             channel.validate()

@@ -10,6 +10,8 @@ Usage::
     repro check-determinism --orderer raft
     repro faults --smoke               # single run of every fault scenario
     repro faults --scenario raft-leader-kill   # double run + criteria
+    repro statedb                      # state-DB backend ablation (Thakkar)
+    repro check-determinism --orderer solo --statedb couchdb
 
 (``repro`` and ``fabric-repro`` are the same entry point.)
 """
@@ -73,6 +75,7 @@ def _default_lint_root() -> str:
 
 def _run_check_determinism(args) -> int:
     """The ``check-determinism`` subcommand: same-seed double runs."""
+    from repro.common.config import StateDBConfig
     from repro.experiments.determinism import (
         CHECK_DURATION,
         CHECK_RATE,
@@ -84,11 +87,23 @@ def _run_check_determinism(args) -> int:
     rate = args.check_rate if args.check_rate is not None else CHECK_RATE
     duration = (args.check_duration if args.check_duration is not None
                 else CHECK_DURATION)
+    statedb = None
+    workload_kind = "unique"
+    if args.statedb == "couchdb":
+        # Exercise every statedb feature at once: the CouchDB cost model,
+        # the read cache, bulk batching, and periodic snapshots, on the
+        # read-write workload that keeps the read path hot.
+        statedb = StateDBConfig(kind="couchdb", cache=True, bulk=True,
+                                snapshot_interval=3)
+        workload_kind = "conflict"
+    elif args.statedb == "leveldb":
+        statedb = StateDBConfig(kind="leveldb")
     failures = 0
     for kind in kinds:
         check = check_point_determinism(
             kind, rate=rate, duration=duration, seed=args.seed,
-            keep_records=not args.digest_only)
+            keep_records=not args.digest_only, statedb=statedb,
+            workload_kind=workload_kind)
         print(check.render())
         print()
         if not check.ok:
@@ -139,6 +154,20 @@ def _run_faults(args) -> int:
     return 0
 
 
+def _run_statedb(args) -> int:
+    """The ``statedb`` subcommand: backend ablation + attribution check.
+
+    Exits non-zero when the Thakkar ordering (LevelDB > CouchDB+cache+bulk
+    > plain CouchDB) or the CouchDB bottleneck attribution does not hold.
+    """
+    from repro.experiments.statedb import run_statedb_ablation
+
+    mode = "full" if args.full else "quick"
+    ablation = run_statedb_ablation(mode=mode, seed=args.seed)
+    print(ablation.result.render())
+    return 0 if ablation.ok else 1
+
+
 def _results_for(experiment_id: str, mode: str, seed: int):
     if experiment_id == "tab1":
         return [run_table1()]
@@ -168,13 +197,15 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     parser.add_argument("experiment",
                         choices=(EXPERIMENT_IDS
                                  + ["all", "trace", "lint",
-                                    "check-determinism", "faults"]),
+                                    "check-determinism", "faults",
+                                    "statedb"]),
                         help="which artifact to regenerate; 'trace' for an "
                              "observed run with bottleneck attribution; "
                              "'lint' for the simlint determinism analyzer; "
                              "'check-determinism' for same-seed double-run "
                              "schedule diffing; 'faults' for the "
-                             "fault-injection recovery scenarios")
+                             "fault-injection recovery scenarios; 'statedb' "
+                             "for the state-database backend ablation")
     parser.add_argument("--full", action="store_true",
                         help="run the paper-scale sweep (slower)")
     parser.add_argument("--seed", type=int, default=1,
@@ -220,12 +251,19 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     check_group.add_argument("--digest-only", action="store_true",
                              help="skip per-event record keeping (lower "
                                   "memory; no first-divergence report)")
+    check_group.add_argument("--statedb", default=None,
+                             choices=["leveldb", "couchdb"],
+                             help="state-database backend for the double "
+                                  "runs (couchdb enables cache, bulk "
+                                  "batching, and snapshots on the "
+                                  "read-write workload)")
     faults_group = parser.add_argument_group(
         "faults options",
         "only used with the 'faults' experiment; --seed also applies")
     faults_group.add_argument("--scenario", default=None,
                               choices=["raft-leader-kill",
-                                       "kafka-broker-kill"],
+                                       "kafka-broker-kill",
+                                       "peer-wipe-recover"],
                               help="run one scenario (default: all)")
     faults_group.add_argument("--smoke", action="store_true",
                               help="single run per scenario instead of the "
@@ -238,6 +276,8 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         return _run_check_determinism(args)
     if args.experiment == "faults":
         return _run_faults(args)
+    if args.experiment == "statedb":
+        return _run_statedb(args)
     if args.experiment == "trace":
         if args.orderer is None:
             args.orderer = "solo"

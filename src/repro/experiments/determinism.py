@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro.common.config import StateDBConfig
 from repro.experiments.runner import make_topology, make_workload
 from repro.fabric.network import FabricNetwork
 from repro.sim.sanitizer import (
@@ -38,6 +39,7 @@ class PointCheck:
     report: DeterminismReport
     metrics_identical: bool
     throughput: float
+    statedb_kind: str = "leveldb"
 
     @property
     def ok(self) -> bool:
@@ -45,7 +47,8 @@ class PointCheck:
 
     def render(self) -> str:
         status = "ok" if self.ok else "FAILED"
-        header = (f"[{status}] {self.orderer_kind} / {self.policy} @ "
+        header = (f"[{status}] {self.orderer_kind} / {self.policy} / "
+                  f"{self.statedb_kind} @ "
                   f"{self.rate:g} tx/s, seed {self.seed}: "
                   f"{self.throughput:.1f} tx/s committed, metrics "
                   f"{'identical' if self.metrics_identical else 'DIVERGED'}")
@@ -61,16 +64,19 @@ def run_digested_point(orderer_kind: str, policy: str = "AND2",
                        peers: int = CHECK_PEERS,
                        duration: float = CHECK_DURATION,
                        seed: int = 1,
-                       keep_records: bool = True
+                       keep_records: bool = True,
+                       statedb: StateDBConfig | None = None,
+                       workload_kind: str = "unique"
                        ) -> tuple[TraceDigest, dict[str, float]]:
     """Run one network point with the trace digest attached.
 
     Returns the digest and the run's windowed metrics as a dict, so
     double-run checks compare metrics as well as schedules.
     """
-    topology = make_topology(orderer_kind, policy, peers)
+    topology = make_topology(orderer_kind, policy, peers, statedb=statedb)
     workload = make_workload(rate, duration)
-    network = FabricNetwork(topology, workload, seed=seed)
+    network = FabricNetwork(topology, workload, seed=seed,
+                            workload_kind=workload_kind)
     metrics: list[dict[str, float]] = []
 
     def drive() -> None:
@@ -85,14 +91,17 @@ def check_point_determinism(orderer_kind: str, policy: str = "AND2",
                             peers: int = CHECK_PEERS,
                             duration: float = CHECK_DURATION,
                             seed: int = 1,
-                            keep_records: bool = True) -> PointCheck:
+                            keep_records: bool = True,
+                            statedb: StateDBConfig | None = None,
+                            workload_kind: str = "unique") -> PointCheck:
     """Same-seed double run of one configuration, diffed."""
     metrics_by_run: list[dict[str, float]] = []
 
     def run_once() -> TraceDigest:
         digest, metrics = run_digested_point(
             orderer_kind, policy=policy, rate=rate, peers=peers,
-            duration=duration, seed=seed, keep_records=keep_records)
+            duration=duration, seed=seed, keep_records=keep_records,
+            statedb=statedb, workload_kind=workload_kind)
         metrics_by_run.append(metrics)
         return digest
 
@@ -103,4 +112,5 @@ def check_point_determinism(orderer_kind: str, policy: str = "AND2",
     return PointCheck(
         orderer_kind=orderer_kind, policy=policy, rate=rate, seed=seed,
         report=report, metrics_identical=metrics_identical,
-        throughput=metrics_by_run[0].get("overall_throughput", 0.0))
+        throughput=metrics_by_run[0].get("overall_throughput", 0.0),
+        statedb_kind=statedb.kind if statedb is not None else "leveldb")

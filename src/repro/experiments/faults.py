@@ -1,14 +1,18 @@
 """Fault-injection experiments: consensus leader-kill recovery curves.
 
-Two scenarios exercise the paper's two crash-fault-tolerant ordering
-backends under the failure they are built to survive:
+Three scenarios exercise the network under the failures it is built to
+survive:
 
 - ``raft-leader-kill`` — crash the current Raft leader OSN mid-run; the
   followers detect the silent leader, elect a successor within the election
   timeout, and clients resubmit the transactions the dead leader ate;
 - ``kafka-broker-kill`` — crash the partition-leader broker; ZooKeeper
   expires its session, promotes the next in-sync replica, and the OSNs
-  re-subscribe their consume streams.
+  re-subscribe their consume streams;
+- ``peer-wipe-recover`` — crash an endorsing peer whose CouchDB state
+  database does not survive the crash (``wipe_on_crash``); on recovery the
+  peer restores its latest checkpoint snapshot and replays only the blocks
+  committed after it, instead of re-executing the chain from genesis.
 
 Each scenario reports the recovery metrics
 (:class:`~repro.faults.recovery.RecoveryReport`) against explicit pass
@@ -21,7 +25,7 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.common.config import WorkloadConfig
+from repro.common.config import StateDBConfig, WorkloadConfig
 from repro.common.errors import ConfigurationError
 from repro.experiments.runner import make_topology
 from repro.fabric.network import FabricNetwork
@@ -59,6 +63,14 @@ class FaultScenario:
     ordering_timeout: float = 1.5
     max_resubmits: int = 4
     resubmit_backoff: float = 0.25
+    #: What to kill: an alias (``"@leader"``) or a concrete node name.
+    target: str = "@leader"
+    #: Leader-kill scenarios expect a re-election; peer kills do not.
+    expect_reelection: bool = True
+    #: Peer-wipe scenarios expect a snapshot-based state-DB catch-up.
+    expect_catchup: bool = False
+    statedb: StateDBConfig | None = None
+    workload_kind: str = "unique"
 
     @property
     def crash_time(self) -> float:
@@ -72,11 +84,12 @@ class FaultScenario:
 
     def build_schedule(self) -> FaultSchedule:
         return (FaultSchedule()
-                .crash("@leader", at=self.crash_time)
-                .recover("@leader", at=self.recover_time))
+                .crash(self.target, at=self.crash_time)
+                .recover(self.target, at=self.recover_time))
 
     def build_network(self, seed: int = 1) -> FabricNetwork:
-        topology = make_topology(self.orderer_kind, self.policy, self.peers)
+        topology = make_topology(self.orderer_kind, self.policy, self.peers,
+                                 statedb=self.statedb)
         workload = WorkloadConfig(
             arrival_rate=self.rate, duration=self.duration,
             warmup=self.warmup, cooldown=self.cooldown, tx_size=1,
@@ -85,7 +98,8 @@ class FaultScenario:
             max_resubmits=self.max_resubmits,
             resubmit_backoff=self.resubmit_backoff)
         return FabricNetwork(topology, workload, seed=seed,
-                             faults=self.build_schedule())
+                             faults=self.build_schedule(),
+                             workload_kind=self.workload_kind)
 
 
 #: Re-election bounds: Raft elects within one randomized election timeout
@@ -104,6 +118,15 @@ SCENARIOS: dict[str, FaultScenario] = {
             description="crash the partition-leader Kafka broker mid-run, "
                         "recover it 4 s later",
             max_reelection=2.5),
+        FaultScenario(
+            name="peer-wipe-recover", orderer_kind="solo",
+            description="crash an endorsing peer whose CouchDB state is "
+                        "wiped; on recovery it restores the latest "
+                        "snapshot and replays the tail blocks",
+            target="peer2", expect_reelection=False, expect_catchup=True,
+            statedb=StateDBConfig(kind="couchdb", cache=True, bulk=True,
+                                  snapshot_interval=3, wipe_on_crash=True),
+            workload_kind="conflict"),
     )
 }
 
@@ -120,9 +143,18 @@ class FaultScenarioResult:
 
     @property
     def reelection_ok(self) -> bool:
+        if not self.scenario.expect_reelection:
+            return True
         return (self.recovery.time_to_reelection is not None
                 and self.recovery.time_to_reelection
                 <= self.scenario.max_reelection)
+
+    @property
+    def catchup_ok(self) -> bool:
+        """Expected state-DB rebuilds restored a snapshot, not genesis."""
+        if not self.scenario.expect_catchup:
+            return True
+        return self.recovery.caught_up_from_snapshot
 
     @property
     def recovered_ok(self) -> bool:
@@ -134,7 +166,8 @@ class FaultScenarioResult:
 
     @property
     def ok(self) -> bool:
-        return self.reelection_ok and self.recovered_ok and self.throughput_ok
+        return (self.reelection_ok and self.catchup_ok
+                and self.recovered_ok and self.throughput_ok)
 
     def render(self) -> str:
         def mark(passed: bool) -> str:
@@ -150,11 +183,18 @@ class FaultScenarioResult:
         ]
         lines.extend("  " + line
                      for line in self.recovery.render().splitlines())
-        lines.append(
-            f"  criteria: re-election <= {scenario.max_reelection:g}s "
-            f"[{mark(self.reelection_ok)}], in-flight recovery >= "
-            f"{MIN_RECOVERED_FRACTION * 100:.0f}% [{mark(self.recovered_ok)}]"
-            f", throughput within 10% [{mark(self.throughput_ok)}]")
+        criteria = []
+        if scenario.expect_reelection:
+            criteria.append(f"re-election <= {scenario.max_reelection:g}s "
+                            f"[{mark(self.reelection_ok)}]")
+        if scenario.expect_catchup:
+            criteria.append(
+                f"state catch-up from snapshot [{mark(self.catchup_ok)}]")
+        criteria.append(f"in-flight recovery >= "
+                        f"{MIN_RECOVERED_FRACTION * 100:.0f}% "
+                        f"[{mark(self.recovered_ok)}]")
+        criteria.append(f"throughput within 10% [{mark(self.throughput_ok)}]")
+        lines.append("  criteria: " + ", ".join(criteria))
         return "\n".join(lines)
 
 

@@ -7,6 +7,7 @@ import dataclasses
 from repro.common.config import (
     ChannelConfig,
     OrdererConfig,
+    StateDBConfig,
     TopologyConfig,
     WorkloadConfig,
 )
@@ -49,7 +50,8 @@ class SweepPoint:
 def make_topology(orderer_kind: str, policy: str, peers: int,
                   num_osns: int | None = None,
                   num_brokers: int = 3,
-                  num_zookeepers: int = 3) -> TopologyConfig:
+                  num_zookeepers: int = 3,
+                  statedb: StateDBConfig | None = None) -> TopologyConfig:
     """Topology following the paper's §IV.A deployment."""
     if num_osns is None:
         num_osns = 1 if orderer_kind == "solo" else 3
@@ -60,7 +62,8 @@ def make_topology(orderer_kind: str, policy: str, peers: int,
     return TopologyConfig(
         num_endorsing_peers=peers,
         channel=ChannelConfig(endorsement_policy=policy),
-        orderer=orderer)
+        orderer=orderer,
+        statedb=statedb if statedb is not None else StateDBConfig())
 
 
 def make_workload(rate: float, duration: float = 15.0) -> WorkloadConfig:
@@ -72,11 +75,13 @@ def make_workload(rate: float, duration: float = 15.0) -> WorkloadConfig:
 
 def run_point(orderer_kind: str, policy: str, rate: float,
               peers: int = DEFAULT_PEERS, duration: float = 15.0,
-              seed: int = 1, **topology_kwargs) -> SweepPoint:
+              seed: int = 1, workload_kind: str = "unique",
+              **topology_kwargs) -> SweepPoint:
     """Run one measurement point."""
     topology = make_topology(orderer_kind, policy, peers, **topology_kwargs)
     workload = make_workload(rate, duration)
-    metrics = run_experiment(topology, workload, seed=seed)
+    metrics = run_experiment(topology, workload, seed=seed,
+                             workload_kind=workload_kind)
     return SweepPoint(orderer_kind=orderer_kind, policy=policy, peers=peers,
                       rate=rate, metrics=metrics)
 
@@ -108,6 +113,7 @@ def run_traced_point(orderer_kind: str = "solo",
                      peers: int = DEFAULT_PEERS,
                      duration: float = 15.0, seed: int = 1,
                      sample_interval: float = 0.05,
+                     workload_kind: str = "unique",
                      **topology_kwargs) -> TracedPoint:
     """Run one measurement point with span tracing and sampling enabled.
 
@@ -118,7 +124,8 @@ def run_traced_point(orderer_kind: str = "solo",
     topology = make_topology(orderer_kind, policy, peers, **topology_kwargs)
     workload = make_workload(rate, duration)
     network = FabricNetwork(topology, workload, seed=seed, observe=True,
-                            sample_interval=sample_interval)
+                            sample_interval=sample_interval,
+                            workload_kind=workload_kind)
     metrics = network.run_workload()
     report = network.bottleneck_report()
     return TracedPoint(orderer_kind=orderer_kind, policy=policy,
@@ -128,13 +135,16 @@ def run_traced_point(orderer_kind: str = "solo",
 
 def search_peak(orderer_kind: str, policy: str, peers: int,
                 rates: list[float], duration: float = 15.0,
-                seed: int = 1) -> tuple[float, list[SweepPoint]]:
+                seed: int = 1, workload_kind: str = "unique",
+                **topology_kwargs) -> tuple[float, list[SweepPoint]]:
     """Sweep ``rates`` and return (peak throughput, all points).
 
     The paper reports peak throughput per configuration (Table II); the peak
     is the maximum committed rate over the sweep.
     """
     points = [run_point(orderer_kind, policy, rate, peers=peers,
-                        duration=duration, seed=seed) for rate in rates]
+                        duration=duration, seed=seed,
+                        workload_kind=workload_kind, **topology_kwargs)
+              for rate in rates]
     peak = max(point.throughput for point in points)
     return peak, points

@@ -114,7 +114,8 @@ class FabricNetwork:
             identity = self.ca.enroll(f"peer{index}", Role.PEER)
             peer = PeerNode(self.context, identity, self.msp,
                             is_endorsing=is_endorsing,
-                            gossip_leader=(topology.gossip and index == 0))
+                            gossip_leader=(topology.gossip and index == 0),
+                            statedb=topology.statedb)
             for chaincode_class in (NoopChaincode, KVStoreChaincode,
                                     MoneyTransferChaincode,
                                     SmallbankChaincode):
@@ -198,6 +199,8 @@ class FabricNetwork:
         for peer in self.peers:
             obs.watch_resource(peer.cpu, kind="cpu", phase="peer")
             obs.watch_resource(peer.disk, kind="disk", phase="validate")
+            obs.watch_resource(peer.statedb, kind="statedb",
+                               phase="validate")
             if peer.endorser is not None:
                 obs.watch_resource(peer.endorser.slots, kind="pool",
                                    phase="execute")
@@ -257,7 +260,27 @@ class FabricNetwork:
                       - self.workload_config.cooldown)
         #: The measurement window, kept for windowed bottleneck reports.
         self.last_window = (window_start, window_end)
+        self._export_statedb_counters()
         return self.context.metrics.aggregate(window_start, window_end)
+
+    def _export_statedb_counters(self) -> None:
+        """Snapshot every peer backend's op counters into the collector."""
+        for peer in self.peers:
+            for channel in peer.channels:
+                ledger = peer.ledger_for(channel)
+                self.context.metrics.set_counters(
+                    f"statedb.{peer.name}.{channel}",
+                    ledger.state.stats.as_dict())
+
+    def statedb_counters(self) -> dict[str, int]:
+        """Aggregate state-DB op counters summed across peers/channels."""
+        totals: dict[str, int] = {}
+        for peer in self.peers:
+            for channel in peer.channels:
+                stats = peer.ledger_for(channel).state.stats.as_dict()
+                for name, value in stats.items():
+                    totals[name] = totals.get(name, 0) + value
+        return totals
 
     def bottleneck_report(self, start: float | None = None,
                           end: float | None = None):

@@ -15,6 +15,10 @@ orderer failover:
   and its *duration* runs until the rate is back within tolerance;
 - **unrecovered transactions** — of the transactions in flight when the
   fault hit, how many never reached a commit despite client resubmission.
+
+When a peer loses its state database in the crash (``wipe_on_crash``), the
+report also lists the ``statedb.catchup`` events: which node rebuilt which
+channel, from which snapshot height, and how many blocks it replayed.
 """
 
 from __future__ import annotations
@@ -52,6 +56,17 @@ class RecoveryReport:
     inflight_recovered: int
     unrecovered_txs: int
     resubmissions: int
+    #: ``statedb.catchup`` runtime events: (time, node, detail) — detail
+    #: says which snapshot the state DB was restored from and how many
+    #: blocks were replayed on top.
+    catchup_events: list[tuple[float, str, str]] = dataclasses.field(
+        default_factory=list)
+
+    @property
+    def caught_up_from_snapshot(self) -> bool:
+        """Did every state-DB rebuild start from a snapshot (not genesis)?"""
+        return bool(self.catchup_events) and all(
+            "snapshot@" in detail for _, _, detail in self.catchup_events)
 
     @property
     def recovered_fraction(self) -> float:
@@ -93,6 +108,9 @@ class RecoveryReport:
             f"  unrecovered transactions: {self.unrecovered_txs}",
             f"  client resubmissions:     {self.resubmissions}",
         ]
+        for time, node, detail in self.catchup_events:
+            lines.append(f"  state catch-up:           t={time:.2f}s "
+                         f"{node} {detail}")
         return "\n".join(lines)
 
 
@@ -149,7 +167,10 @@ def compute_recovery(metrics: "MetricsCollector", fault_time: float,
         inflight_at_fault=len(inflight),
         inflight_recovered=recovered,
         unrecovered_txs=unrecovered,
-        resubmissions=resubmissions)
+        resubmissions=resubmissions,
+        catchup_events=[(event.time, event.node, event.detail)
+                        for event in metrics.events
+                        if event.kind == "statedb.catchup"])
 
 
 def _time_to_reelection(events: "list[RuntimeEvent]",

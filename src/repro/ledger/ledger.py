@@ -2,26 +2,40 @@
 
 Commitment follows Fabric's rule (§II): both valid and invalid transactions
 are recorded into the blockchain, while only valid transactions update the
-world state.
+world state.  The world state lives behind a pluggable
+:class:`~repro.statedb.backend.StateBackend` (GoLevelDB- or CouchDB-like
+cost model); each block's valid write sets are applied as one backend
+commit batch, and periodic snapshots enable catch-up by snapshot + replay.
 """
 
 from __future__ import annotations
 
 from repro.common.errors import ValidationError
-from repro.common.types import Block, ValidationCode
+from repro.common.types import Block, KVWrite, ValidationCode, Version
 from repro.ledger.blockchain import BlockStore
 from repro.ledger.history import HistoryDB, HistoryEntry
-from repro.ledger.statedb import WorldState
+from repro.statedb.backend import StateBackend
+from repro.statedb.snapshot import Snapshot
+
+
+def _default_backend() -> StateBackend:
+    from repro.runtime.costs import CostModel
+    from repro.statedb.leveldb import LevelDBBackend
+
+    return LevelDBBackend(CostModel())
 
 
 class Ledger:
     """One peer's ledger for one channel."""
 
-    def __init__(self, channel: str) -> None:
+    def __init__(self, channel: str,
+                 backend: StateBackend | None = None) -> None:
         self.channel = channel
         self.blocks = BlockStore(channel)
-        self.state = WorldState()
+        self.state = backend if backend is not None else _default_backend()
         self.history = HistoryDB()
+        #: Snapshots taken on this ledger, oldest first (catch-up source).
+        self.snapshots: list[Snapshot] = []
         self._committed_tx_ids: set[str] = set()
         self.valid_tx_count = 0
         self.invalid_tx_count = 0
@@ -29,6 +43,10 @@ class Ledger:
     @property
     def height(self) -> int:
         return self.blocks.height
+
+    @property
+    def latest_snapshot(self) -> Snapshot | None:
+        return self.snapshots[-1] if self.snapshots else None
 
     def has_transaction(self, tx_id: str) -> bool:
         """True iff a transaction with this id has ever been committed.
@@ -38,11 +56,25 @@ class Ledger:
         """
         return tx_id in self._committed_tx_ids
 
+    @staticmethod
+    def _valid_writes(block: Block) -> list[tuple[KVWrite, Version]]:
+        """The (write, version) batch of a block's valid transactions."""
+        batch: list[tuple[KVWrite, Version]] = []
+        for tx_number, (tx, flag) in enumerate(
+                zip(block.transactions, block.metadata.validation_flags)):
+            if flag is not ValidationCode.VALID:
+                continue
+            version = (block.number, tx_number)
+            batch.extend((write, version) for write in tx.rwset.writes)
+        return batch
+
     def commit_block(self, block: Block) -> None:
         """Append ``block`` and apply the write sets of its valid txs.
 
         The block's metadata must already carry one validation flag per
-        transaction (set by the validator).
+        transaction (set by the validator).  All valid write sets go to the
+        state backend as a single commit batch, mirroring Fabric's one
+        state-DB update batch per block (and enabling bulk-write modeling).
         """
         flags = block.metadata.validation_flags
         if len(flags) != len(block.transactions):
@@ -57,9 +89,37 @@ class Ledger:
                 self.invalid_tx_count += 1
                 continue
             self.valid_tx_count += 1
-            version = (block.number, tx_number)
-            self.state.apply_writes(tx.rwset.writes, version)
             for write in tx.rwset.writes:
                 self.history.record(write.key, HistoryEntry(
                     block_number=block.number, tx_number=tx_number,
                     tx_id=tx.tx_id, is_delete=write.is_delete))
+        self.state.commit_batch(self._valid_writes(block))
+
+    def take_snapshot(self) -> Snapshot:
+        """Snapshot the current state at the current height."""
+        snap = self.state.take_snapshot(self.height)
+        self.snapshots.append(snap)
+        return snap
+
+    def rebuild_state(self) -> tuple[int, int]:
+        """Rebuild a lost state DB from the latest snapshot + block replay.
+
+        Wipes the backend, restores the most recent snapshot (if any), and
+        replays the valid write sets of every block past the snapshot
+        height from the local block store.  Returns ``(snapshot_height,
+        replayed_blocks)`` — snapshot_height 0 means genesis replay.  The
+        rebuild cost accrues on the backend; the caller drains and charges
+        it on the simulation clock.
+        """
+        self.state.wipe()
+        snap = self.latest_snapshot
+        start_height = 0
+        if snap is not None:
+            self.state.restore_snapshot(snap)
+            start_height = snap.manifest.height
+        replayed = 0
+        for number in range(start_height, self.height):
+            block = self.blocks.get(number)
+            self.state.replay_writes(self._valid_writes(block))
+            replayed += 1
+        return start_height, replayed

@@ -7,6 +7,7 @@ of MVCC validation.
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 import typing
 
@@ -27,10 +28,15 @@ class WorldState:
     Deletions remove the key entirely (as LevelDB does); a read of a deleted
     key observes version ``None``, and MVCC treats "absent" as its own
     version.
+
+    A sorted key index is maintained incrementally (``bisect.insort`` on
+    insert, bisect + delete on removal), so ``range_scan`` is
+    O(log n + k) and ``keys`` is O(n) — not O(n log n) per call.
     """
 
     def __init__(self) -> None:
         self._data: dict[str, VersionedValue] = {}
+        self._sorted_keys: list[str] = []
 
     def __len__(self) -> int:
         return len(self._data)
@@ -50,8 +56,12 @@ class WorldState:
     def apply_write(self, write: KVWrite, version: Version) -> None:
         """Apply one committed write at ``version``."""
         if write.is_delete:
-            self._data.pop(write.key, None)
+            if self._data.pop(write.key, None) is not None:
+                index = bisect.bisect_left(self._sorted_keys, write.key)
+                del self._sorted_keys[index]
         else:
+            if write.key not in self._data:
+                bisect.insort(self._sorted_keys, write.key)
             self._data[write.key] = VersionedValue(write.value, version)
 
     def apply_writes(self, writes: typing.Iterable[KVWrite],
@@ -60,13 +70,22 @@ class WorldState:
         for write in writes:
             self.apply_write(write, version)
 
+    def clear(self) -> None:
+        """Drop every key (used when a wiped state DB is rebuilt)."""
+        self._data.clear()
+        self._sorted_keys.clear()
+
     def range_scan(self, start_key: str,
                    end_key: str) -> list[tuple[str, VersionedValue]]:
         """All (key, value) with ``start_key <= key < end_key``, sorted."""
-        return sorted(
-            (key, value) for key, value in self._data.items()
-            if start_key <= key < end_key)
+        lo = bisect.bisect_left(self._sorted_keys, start_key)
+        hi = bisect.bisect_left(self._sorted_keys, end_key)
+        return [(key, self._data[key]) for key in self._sorted_keys[lo:hi]]
 
     def keys(self) -> list[str]:
         """All keys currently present, sorted."""
-        return sorted(self._data)
+        return list(self._sorted_keys)
+
+    def items(self) -> list[tuple[str, VersionedValue]]:
+        """All (key, value) pairs in key order (used by snapshots)."""
+        return [(key, self._data[key]) for key in self._sorted_keys]

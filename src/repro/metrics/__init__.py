@@ -7,6 +7,7 @@ validate).
 
 from repro.metrics.collector import MetricsCollector, PhaseMetrics, TxRecord
 from repro.metrics.export import (
+    counters_to_csv,
     metrics_to_json,
     throughput_timeseries,
     traces_to_csv,
@@ -19,6 +20,7 @@ __all__ = [
     "MetricsCollector",
     "PhaseMetrics",
     "TxRecord",
+    "counters_to_csv",
     "describe",
     "mean",
     "metrics_to_json",

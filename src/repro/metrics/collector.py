@@ -123,6 +123,8 @@ class MetricsCollector:
         self._records: dict[str, TxRecord] = {}
         self._block_cuts: list[tuple[float, int, str]] = []  # (t, size, osn)
         self._events: list[RuntimeEvent] = []
+        # Named counter groups (e.g. one per peer state-DB backend).
+        self._counters: dict[str, dict[str, int]] = {}
 
     # ------------------------------------------------------------------
     # Event recording (called by clients, orderers, peers)
@@ -179,6 +181,15 @@ class MetricsCollector:
         self._events.append(RuntimeEvent(
             time=self._sim.now, kind=kind, node=node, detail=detail))
 
+    def set_counters(self, group: str, counters: dict[str, int]) -> None:
+        """Record (or overwrite) a named group of operation counters.
+
+        Used for cumulative subsystem counters that are snapshotted at the
+        end of a run — e.g. ``statedb.peer0.mychannel`` mapping backend op
+        names (reads, cache_hits, snapshot_bytes, ...) to counts.
+        """
+        self._counters[group] = dict(counters)
+
     # ------------------------------------------------------------------
     # Aggregation
     # ------------------------------------------------------------------
@@ -194,6 +205,11 @@ class MetricsCollector:
     @property
     def events(self) -> list[RuntimeEvent]:
         return list(self._events)
+
+    @property
+    def counters(self) -> dict[str, dict[str, int]]:
+        return {group: dict(values)
+                for group, values in self._counters.items()}
 
     def _in_window(self, timestamp: float | None, start: float,
                    end: float) -> bool:

@@ -78,6 +78,27 @@ def metrics_to_csv(metrics: PhaseMetrics) -> str:
     return buffer.getvalue()
 
 
+COUNTER_FIELDS = ["group", "counter", "value"]
+
+
+def counter_rows(collector: MetricsCollector
+                 ) -> list[dict[str, typing.Any]]:
+    """One (group, counter, value) row per recorded counter, sorted."""
+    return [{"group": group, "counter": name, "value": value}
+            for group in sorted(collector.counters)
+            for name, value in sorted(collector.counters[group].items())]
+
+
+def counters_to_csv(collector: MetricsCollector) -> str:
+    """All recorded counter groups (e.g. state-DB op counts) as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=COUNTER_FIELDS)
+    writer.writeheader()
+    for row in counter_rows(collector):
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
 def write_traces(collector: MetricsCollector, path: str) -> None:
     """Write the trace to ``path``; format chosen by extension."""
     if path.endswith(".json"):

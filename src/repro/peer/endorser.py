@@ -69,6 +69,13 @@ class Endorser:
                     yield peer.sim.timeout(
                         peer.costs.chaincode_container_latency)
                 response = self._execute(proposal)
+                # Chaincode ran synchronously against the state backend;
+                # charge the accrued read cost on the state-DB resource
+                # (drain happens before any yield, so the cost is ours).
+                ledger = peer.ledger_for(proposal.channel)
+                if ledger is not None:
+                    yield from peer.charge_statedb(
+                        ledger.state.drain_cost(), "read")
                 if response.ok:
                     self.proposals_endorsed += 1
                 else:

@@ -12,6 +12,7 @@ import dataclasses
 from repro.chaincode.base import Chaincode
 from repro.chaincode.policy import EndorsementPolicy
 from repro.chaincode.registry import ChaincodeRegistry
+from repro.common.config import StateDBConfig
 from repro.common.errors import ConfigurationError
 from repro.common.types import Block, Proposal, ValidationCode
 from repro.ledger.ledger import Ledger
@@ -23,6 +24,7 @@ from repro.peer.validator import BlockValidator
 from repro.runtime.context import NetworkContext
 from repro.runtime.node import NodeBase
 from repro.sim.resources import Resource
+from repro.statedb import build_backend
 
 
 @dataclasses.dataclass
@@ -38,20 +40,28 @@ class PeerNode(NodeBase):
 
     def __init__(self, context: NetworkContext, identity: Identity,
                  msp: MSP, is_endorsing: bool = True,
-                 gossip_leader: bool = False) -> None:
+                 gossip_leader: bool = False,
+                 statedb: StateDBConfig | None = None) -> None:
         super().__init__(context, identity.name,
                          cores=context.costs.peer_cores)
         self.identity = identity
         self.msp = msp
         self.is_endorsing = is_endorsing
+        self.statedb_config = statedb if statedb is not None else (
+            StateDBConfig())
         self.chaincodes = ChaincodeRegistry()
         self._channel_states: dict[str, ChannelState] = {}
         self.endorser: Endorser | None = (
             Endorser(self) if is_endorsing else None)
         self.gossip = GossipService(self, is_leader=gossip_leader)
-        # The state DB / block store disk (separate from CPU).
+        # The block store disk (separate from CPU).
         self.disk = Resource(self.sim, capacity=1,
                              name=f"{self.name}.disk")
+        # The state database (LevelDB file / CouchDB connection); serial,
+        # separate from the block-store disk so bottleneck attribution can
+        # tell "appending blocks" apart from "state reads/writes".
+        self.statedb = Resource(self.sim, capacity=1,
+                                name=f"{self.name}.statedb")
         # tx_id -> client node to notify on commit.
         self._listeners: dict[str, str] = {}
         #: The OSN this peer's deliver stream comes from (redelivery source).
@@ -74,7 +84,8 @@ class PeerNode(NodeBase):
         if channel in self._channel_states:
             raise ConfigurationError(
                 f"{self.name} already joined {channel!r}")
-        ledger = Ledger(channel)
+        backend = build_backend(self.statedb_config, self.costs)
+        ledger = Ledger(channel, backend=backend)
         self._channel_states[channel] = ChannelState(
             ledger=ledger,
             validator=BlockValidator(self, policy, ledger))
@@ -130,6 +141,52 @@ class PeerNode(NodeBase):
     def validator_for(self, channel: str) -> BlockValidator | None:
         state = self._channel_states.get(channel)
         return state.validator if state else None
+
+    # ------------------------------------------------------------------
+    # State database charging / recovery
+    # ------------------------------------------------------------------
+
+    def charge_statedb(self, cost: float, operation: str):
+        """Sub-generator: charge ``cost`` seconds on the state-DB resource.
+
+        Callers accrue backend cost synchronously (see
+        :meth:`~repro.statedb.backend.StateBackend.drain_cost`) and charge
+        it here, under a ``statedb.<operation>`` span so bottleneck
+        attribution can pin commit time on state-database operations.
+        """
+        if cost <= 0:
+            return
+        with self.tracer.span(f"statedb.{operation}", category="statedb",
+                              node=self.name) as span:
+            span.annotate(cost=round(cost, 9))
+            yield from self.statedb.use(cost)
+
+    def recover(self) -> None:
+        """Bring the peer back; rebuild wiped state DBs before serving.
+
+        With ``wipe_on_crash`` the state database does not survive the
+        crash: each channel's backend is rebuilt from its latest snapshot
+        plus block replay (or genesis replay without snapshots).  The data
+        rebuild is immediate — the ledger is never observably inconsistent
+        — while the rebuild *cost* occupies the statedb resource, so
+        post-recovery commits queue behind the catch-up and the recovery
+        curves reflect it.
+        """
+        super().recover()
+        if not self.statedb_config.wipe_on_crash:
+            return
+        total_cost = 0.0
+        for channel, state in self._channel_states.items():
+            snapshot_height, replayed = state.ledger.rebuild_state()
+            total_cost += state.ledger.state.drain_cost()
+            source = (f"snapshot@{snapshot_height}" if snapshot_height
+                      else "genesis")
+            self.context.metrics.runtime_event(
+                "statedb.catchup", self.name,
+                f"{channel}: restored from {source}, "
+                f"replayed {replayed} block(s)")
+        if total_cost > 0:
+            self.sim.process(self.charge_statedb(total_cost, "catchup"))
 
     # ------------------------------------------------------------------
     # Execute phase: endorsement

@@ -1,0 +1,55 @@
+"""State snapshots: manifest + frozen entry list for peer catch-up.
+
+Models Fabric's ledger checkpointing: every N committed blocks the peer
+serializes its world state together with a manifest recording the height it
+was taken at and a hash over the entries.  A recovering peer restores the
+latest snapshot and replays only the blocks past its height, instead of
+replaying the whole chain from genesis.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.crypto import sha256_hex
+from repro.ledger.statedb import VersionedValue, WorldState
+
+#: Approximate serialized overhead per entry beyond key and value bytes
+#: (version tuple, length prefixes).
+ENTRY_OVERHEAD_BYTES = 16
+
+
+@dataclasses.dataclass(frozen=True)
+class SnapshotManifest:
+    """What identifies a snapshot: where it was taken and of what."""
+
+    height: int            # ledger height (blocks committed) at the snapshot
+    state_hash: str        # digest over the sorted (key, value, version) set
+    entry_count: int
+    byte_size: int         # serialized size charged to snapshot I/O
+
+
+@dataclasses.dataclass(frozen=True)
+class Snapshot:
+    """A manifest plus the frozen state entries, in key order."""
+
+    manifest: SnapshotManifest
+    entries: tuple[tuple[str, VersionedValue], ...]
+
+
+def state_hash(entries: tuple[tuple[str, VersionedValue], ...]) -> str:
+    """Stable digest over sorted state entries."""
+    parts = [f"{key}:{sha256_hex(value.value)}:{value.version}"
+             for key, value in entries]
+    return sha256_hex("|".join(parts).encode("utf-8"))
+
+
+def take(state: WorldState, height: int) -> Snapshot:
+    """Snapshot ``state`` as of ``height`` committed blocks."""
+    entries = tuple(state.items())
+    byte_size = sum(len(key) + len(value.value) + ENTRY_OVERHEAD_BYTES
+                    for key, value in entries)
+    manifest = SnapshotManifest(
+        height=height, state_hash=state_hash(entries),
+        entry_count=len(entries), byte_size=byte_size)
+    return Snapshot(manifest=manifest, entries=entries)

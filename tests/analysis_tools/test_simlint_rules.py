@@ -385,6 +385,43 @@ def test_sl009_quiet_on_reads_and_crash_calls():
 
 
 # ----------------------------------------------------------------------
+# SL010 — state-database internals outside the ledger layer
+# ----------------------------------------------------------------------
+
+def test_sl010_fires_on_raw_world_state_access():
+    diags = lint("value = ledger.state._data['k']\n")
+    assert [d.rule for d in diags] == ["SL010"]
+    assert diags[0].severity is Severity.ERROR
+    assert "StateBackend" in diags[0].message
+
+
+def test_sl010_fires_on_each_backend_internal():
+    for attr in ("_store", "_prefetched", "_pending_cost", "_sorted_keys"):
+        assert rules_fired(f"x = backend.{attr}\n") == ["SL010"], attr
+
+
+def test_sl010_fires_on_writes_too():
+    assert rules_fired("backend._pending_cost = 0.0\n") == ["SL010"]
+
+
+def test_sl010_quiet_inside_ledger_and_statedb_packages():
+    assert rules_fired("self._data[key] = value\n",
+                       relpath="ledger/statedb.py") == []
+    assert rules_fired("cost = self._pending_cost\n",
+                       relpath="statedb/backend.py") == []
+
+
+def test_sl010_quiet_on_the_public_interface():
+    source = """
+    def read(backend, key):
+        value = backend.get(key)
+        backend.drain_cost()
+        return value
+    """
+    assert rules_fired(source) == []
+
+
+# ----------------------------------------------------------------------
 # Suppressions
 # ----------------------------------------------------------------------
 

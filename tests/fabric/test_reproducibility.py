@@ -26,6 +26,19 @@ def test_same_seed_double_run_is_identical(orderer_kind):
     assert check.report.events_a == check.report.events_b > 0
 
 
+def test_couchdb_backend_double_run_is_identical():
+    from repro.common.config import StateDBConfig
+
+    check = check_point_determinism(
+        "solo", policy="AND2", rate=40.0, peers=3, duration=2.0, seed=11,
+        statedb=StateDBConfig(kind="couchdb", cache=True, bulk=True,
+                              snapshot_interval=2),
+        workload_kind="conflict")
+    assert check.ok, check.render()
+    assert check.statedb_kind == "couchdb"
+    assert "couchdb" in check.render()
+
+
 def test_different_seed_changes_the_digest():
     digest_a, _ = run_digested_point(
         "solo", policy="AND2", rate=40.0, peers=3, duration=2.0, seed=1,

@@ -18,7 +18,8 @@ def test_unknown_scenario_raises():
 
 
 def test_scenario_registry_is_keyed_by_name():
-    assert set(SCENARIOS) == {"raft-leader-kill", "kafka-broker-kill"}
+    assert set(SCENARIOS) == {"raft-leader-kill", "kafka-broker-kill",
+                              "peer-wipe-recover"}
     for name, scenario in SCENARIOS.items():
         assert scenario.name == name
         assert len(scenario.build_schedule()) == 2
@@ -52,6 +53,26 @@ def test_kafka_broker_kill_meets_criteria():
     assert result.ok, result.render()
     assert result.recovery.time_to_reelection is not None
     assert result.recovery.dip_depth > 0  # the fault did bite
+
+
+def test_peer_wipe_recover_catches_up_from_snapshot():
+    result = run_fault_scenario("peer-wipe-recover")
+    assert result.ok, result.render()
+    # No ordering-service fault, so no re-election is expected or required.
+    assert result.recovery.time_to_reelection is None
+    assert result.reelection_ok
+    # The wiped peer rebuilt its state DB from a checkpoint snapshot taken
+    # at a non-genesis height, then replayed only the tail blocks.
+    assert result.recovery.caught_up_from_snapshot
+    [(time, node, detail)] = result.recovery.catchup_events
+    assert time == pytest.approx(result.scenario.recover_time)
+    assert node == result.scenario.target
+    assert "restored from snapshot@" in detail
+    height = int(detail.split("snapshot@")[1].split(",")[0])
+    assert height > 0
+    assert height % result.scenario.statedb.snapshot_interval == 0
+    text = result.render()
+    assert "state catch-up" in text
 
 
 def test_scenario_render_reports_criteria():

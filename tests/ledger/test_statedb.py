@@ -57,6 +57,29 @@ def test_range_scan_half_open_sorted():
     assert [key for key, _ in scanned] == ["b", "c"]
 
 
+def test_range_scan_boundaries_are_start_inclusive_end_exclusive():
+    state = WorldState()
+    for key in ["a", "b", "c", "d"]:
+        state.apply_write(KVWrite(key, key.encode()), version=(1, 0))
+    # Boundaries that are not present keys still bracket correctly.
+    assert [k for k, _ in state.range_scan("aa", "cc")] == ["b", "c"]
+    # An exact-match end key is excluded; an exact-match start included.
+    assert [k for k, _ in state.range_scan("a", "a")] == []
+    assert [k for k, _ in state.range_scan("d", "z")] == ["d"]
+    assert state.range_scan("x", "z") == []
+
+
+def test_range_scan_reflects_deletes():
+    state = WorldState()
+    for key in ["a", "b", "c"]:
+        state.apply_write(KVWrite(key, b"v"), version=(1, 0))
+    state.apply_write(KVWrite("b", b"", is_delete=True), version=(2, 0))
+    assert [k for k, _ in state.range_scan("a", "z")] == ["a", "c"]
+    # Recreating the key restores it to the index exactly once.
+    state.apply_write(KVWrite("b", b"v2"), version=(3, 0))
+    assert state.keys() == ["a", "b", "c"]
+
+
 def test_keys_sorted():
     state = WorldState()
     for key in ["z", "a", "m"]:

@@ -9,6 +9,8 @@ import pytest
 from repro.common.types import ValidationCode
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.export import (
+    counter_rows,
+    counters_to_csv,
     metrics_to_csv,
     metrics_to_json,
     throughput_timeseries,
@@ -136,3 +138,36 @@ def test_metrics_to_csv_round_trip_appends_new_columns_last():
     assert header[0] == "window"
     assert header[-3:] == ["overall_latency_p50", "overall_latency_p95",
                            "overall_latency_p99"]
+
+
+def test_counter_rows_sorted_by_group_then_name():
+    _sim, collector = make_collector()
+    collector.set_counters("statedb.peer1.ch", {"reads": 4, "cache_hits": 2})
+    collector.set_counters("statedb.peer0.ch", {"reads": 7})
+    rows = counter_rows(collector)
+    assert [(r["group"], r["counter"], r["value"]) for r in rows] == [
+        ("statedb.peer0.ch", "reads", 7),
+        ("statedb.peer1.ch", "cache_hits", 2),
+        ("statedb.peer1.ch", "reads", 4),
+    ]
+
+
+def test_counters_to_csv_round_trips():
+    _sim, collector = make_collector()
+    collector.set_counters("statedb.peer0.ch",
+                           {"reads": 3, "snapshot_bytes": 120})
+    rows = list(csv.DictReader(io.StringIO(counters_to_csv(collector))))
+    assert {r["counter"]: int(r["value"]) for r in rows} == {
+        "reads": 3, "snapshot_bytes": 120}
+
+
+def test_set_counters_overwrites_and_copies():
+    _sim, collector = make_collector()
+    counters = {"reads": 1}
+    collector.set_counters("g", counters)
+    counters["reads"] = 99            # caller mutation must not leak in
+    assert collector.counters["g"] == {"reads": 1}
+    collector.set_counters("g", {"reads": 2})
+    assert collector.counters["g"] == {"reads": 2}
+    collector.counters["g"]["reads"] = 5   # nor mutation of the view
+    assert collector.counters["g"] == {"reads": 2}

@@ -27,7 +27,7 @@ class PeerRig:
     """A CA, an MSP, and a set of joined peers inside one simulation."""
 
     def __init__(self, num_peers: int = 3, policy_spec: str = "OR(1..n)",
-                 seed: int = 9) -> None:
+                 seed: int = 9, statedb=None) -> None:
         self.context = NetworkContext.create(seed=seed)
         self.ca = CertificateAuthority("Org1")
         self.msp = MSP([self.ca])
@@ -37,7 +37,8 @@ class PeerRig:
             policy_spec, names)
         for name in names:
             identity = self.ca.enroll(name, Role.PEER)
-            peer = PeerNode(self.context, identity, self.msp)
+            peer = PeerNode(self.context, identity, self.msp,
+                            statedb=statedb)
             peer.install_chaincode(NoopChaincode())
             peer.install_chaincode(KVStoreChaincode())
             peer.install_chaincode(MoneyTransferChaincode())

@@ -1,0 +1,185 @@
+"""Integration tests: state-DB costs on the simulation clock, snapshots,
+and crash recovery with a wiped state database."""
+
+import pytest
+
+from repro.common.config import StateDBConfig
+from repro.common.types import KVWrite, Proposal, ValidationCode
+from tests.peer.helpers import (
+    CHANNEL,
+    PeerRig,
+    make_signed_block,
+    write_rwset,
+)
+
+COUCH = StateDBConfig(kind="couchdb")
+COUCH_OPT = StateDBConfig(kind="couchdb", cache=True, bulk=True)
+
+
+def make_proposal(function="update", args=("k1", "v"), nonce=1):
+    tx_id = Proposal.compute_tx_id("client0", nonce)
+    return Proposal(tx_id=tx_id, channel=CHANNEL, chaincode="kvstore",
+                    function=function, args=tuple(args), creator="client0",
+                    nonce=nonce)
+
+
+def commit_and_run(rig, peer, block):
+    peer.validator.submit_block(block)
+    rig.sim.run()
+
+
+def commit_one(rig, key=b"hello", tx_id="t1"):
+    peer = rig.peers[0]
+    envelope = rig.make_envelope(tx_id, write_rwset("k1", key),
+                                 [rig.peers[0]])
+    commit_and_run(rig, peer, make_signed_block(rig, peer, [envelope]))
+    return peer
+
+
+# ----------------------------------------------------------------------
+# Cost charging on the clock
+# ----------------------------------------------------------------------
+
+def test_endorsement_read_cost_is_drained_and_charged():
+    rig = PeerRig(statedb=COUCH)
+    peer = rig.peers[0]
+    peer.ledger.state.apply_write(KVWrite("k1", b"v0"), version=(1, 0))
+    before = rig.sim.now
+    response = rig.endorse_sync(peer, make_proposal())
+    assert response.ok
+    backend = peer.ledger.state
+    assert backend.stats.reads >= 1
+    # The endorser drained the accrued read cost onto the clock.
+    assert backend.pending_cost == 0.0
+    assert rig.sim.now - before >= backend.costs.couch_request_io
+
+
+def test_commit_drains_all_backend_cost_onto_the_clock():
+    rig = PeerRig(statedb=COUCH)
+    peer = commit_one(rig)
+    assert peer.ledger.height == 2
+    assert peer.ledger.state.pending_cost == 0.0
+    assert peer.ledger.state.stats.commit_batches == 1
+
+
+def test_couchdb_commit_takes_longer_than_leveldb():
+    def commit_duration(statedb):
+        rig = PeerRig(statedb=statedb)
+        start = rig.sim.now
+        commit_one(rig)
+        return rig.sim.now - start
+
+    slow = commit_duration(COUCH)
+    fast = commit_duration(StateDBConfig(kind="leveldb"))
+    assert slow > fast
+
+
+def test_bulk_validator_prefetches_read_set():
+    rig = PeerRig(statedb=COUCH_OPT)
+    peer = rig.peers[0]
+    peer.ledger.state.apply_write(KVWrite("k1", b"v0"), version=(1, 0))
+    envelope = rig.make_envelope(
+        "t1", write_rwset("k1", b"new", read_version=(1, 0)),
+        [rig.peers[0]])
+    commit_and_run(rig, peer, make_signed_block(rig, peer, [envelope]))
+    flags = peer.ledger.blocks.get(1).metadata.validation_flags
+    assert flags == [ValidationCode.VALID]
+    assert peer.ledger.state.stats.bulk_read_batches == 1
+
+
+# ----------------------------------------------------------------------
+# Periodic snapshots
+# ----------------------------------------------------------------------
+
+def test_snapshot_interval_checkpoints_at_multiples():
+    rig = PeerRig(statedb=StateDBConfig(kind="leveldb",
+                                        snapshot_interval=2))
+    peer = rig.peers[0]
+    for number in range(5):
+        envelope = rig.make_envelope(f"t{number}",
+                                     write_rwset(f"k{number}"),
+                                     [rig.peers[0]])
+        commit_and_run(rig, peer,
+                       make_signed_block(rig, peer, [envelope]))
+    heights = [snap.manifest.height for snap in peer.ledger.snapshots]
+    assert heights == [2, 4, 6]
+    assert peer.ledger.state.stats.snapshots_taken == 3
+
+
+def test_no_snapshots_when_interval_is_zero():
+    rig = PeerRig()
+    commit_one(rig)
+    assert rig.peers[0].ledger.snapshots == []
+
+
+# ----------------------------------------------------------------------
+# Crash recovery with a wiped state DB
+# ----------------------------------------------------------------------
+
+def test_recover_with_wipe_rebuilds_from_snapshot():
+    rig = PeerRig(statedb=StateDBConfig(
+        kind="couchdb", cache=True, bulk=True,
+        snapshot_interval=3, wipe_on_crash=True))
+    peer = rig.peers[0]
+    for number in range(3):
+        envelope = rig.make_envelope(f"t{number}",
+                                     write_rwset(f"k{number}"),
+                                     [rig.peers[0]])
+        commit_and_run(rig, peer,
+                       make_signed_block(rig, peer, [envelope]))
+    expected_hash = peer.ledger.state.state_hash()
+
+    peer.crash()
+    peer.recover()
+    rig.sim.run()
+
+    assert peer.ledger.state.state_hash() == expected_hash
+    assert peer.ledger.state.stats.restores == 1
+    # Snapshot at height 3 (genesis + 2 blocks); height is 4 → replay 1.
+    assert peer.ledger.state.stats.replayed_blocks == 1
+    events = [e for e in rig.context.metrics.events
+              if e.kind == "statedb.catchup"]
+    assert len(events) == 1
+    assert events[0].node == "peer0"
+    assert "restored from snapshot@3" in events[0].detail
+    assert "replayed 1 block(s)" in events[0].detail
+
+
+def test_recover_without_wipe_keeps_state_and_stays_silent():
+    rig = PeerRig(statedb=COUCH)
+    peer = commit_one(rig)
+    peer.crash()
+    peer.recover()
+    rig.sim.run()
+    assert peer.ledger.state.peek("k1").value == b"hello"
+    assert peer.ledger.state.stats.restores == 0
+    assert all(e.kind != "statedb.catchup"
+               for e in rig.context.metrics.events)
+
+
+def test_recover_without_snapshot_replays_from_genesis():
+    rig = PeerRig(statedb=StateDBConfig(kind="leveldb",
+                                        wipe_on_crash=True))
+    peer = commit_one(rig)
+    expected_hash = peer.ledger.state.state_hash()
+    peer.crash()
+    peer.recover()
+    rig.sim.run()
+    assert peer.ledger.state.state_hash() == expected_hash
+    [event] = [e for e in rig.context.metrics.events
+               if e.kind == "statedb.catchup"]
+    assert "restored from genesis" in event.detail
+
+
+def test_catchup_cost_occupies_the_statedb_resource():
+    rig = PeerRig(statedb=StateDBConfig(kind="couchdb",
+                                        wipe_on_crash=True))
+    peer = commit_one(rig)
+    peer.crash()
+    before = rig.sim.now
+    peer.recover()
+    # Data is immediately consistent, but the rebuild cost plays out on
+    # the simulation clock.
+    assert peer.ledger.state.pending_cost == 0.0
+    rig.sim.run()
+    assert rig.sim.now > before

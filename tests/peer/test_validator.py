@@ -251,6 +251,51 @@ def test_check_mvcc_read_of_absent_key_with_none_version_ok():
         ValidationCode.VALID]
 
 
+def test_check_mvcc_delete_then_recreate_changes_version():
+    # After delete + recreate, a reader holding the pre-delete version must
+    # conflict: the recreated key carries the recreating tx's version.
+    from repro.common.types import Block
+    from repro.ledger import Ledger
+
+    ledger = Ledger("mychannel")
+    ledger.state.apply_write(KVWrite("k", b"v1"), version=(1, 0))
+    ledger.state.apply_write(KVWrite("k", b"", is_delete=True),
+                             version=(2, 0))
+    ledger.state.apply_write(KVWrite("k", b"v2"), version=(3, 4))
+    assert ledger.state.get_version("k") == (3, 4)
+    stale = make_plain_envelope("t1", [("k", (1, 0))], ["k"])
+    fresh = make_plain_envelope("t2", [("k", (3, 4))], ["k"])
+    block = Block(number=4,
+                  previous_hash=ledger.blocks.last_block.header_hash(),
+                  transactions=(stale, fresh), channel="mychannel")
+    flags = check_mvcc(ledger, block,
+                       [ValidationCode.VALID, ValidationCode.VALID])
+    assert flags == [ValidationCode.MVCC_READ_CONFLICT,
+                     ValidationCode.VALID]
+
+
+def test_check_mvcc_read_of_deleted_key_expects_none_version():
+    # A deleted key reads as absent: version None validates, the old
+    # pre-delete version conflicts.
+    from repro.common.types import Block
+    from repro.ledger import Ledger
+
+    ledger = Ledger("mychannel")
+    ledger.state.apply_write(KVWrite("k", b"v"), version=(1, 0))
+    ledger.state.apply_write(KVWrite("k", b"", is_delete=True),
+                             version=(2, 0))
+    assert ledger.state.get_version("k") is None
+    stale = make_plain_envelope("t1", [("k", (1, 0))], ["a"])
+    absent = make_plain_envelope("t2", [("k", None)], ["b"])
+    block = Block(number=3,
+                  previous_hash=ledger.blocks.last_block.header_hash(),
+                  transactions=(stale, absent), channel="mychannel")
+    flags = check_mvcc(ledger, block,
+                       [ValidationCode.VALID, ValidationCode.VALID])
+    assert flags == [ValidationCode.MVCC_READ_CONFLICT,
+                     ValidationCode.VALID]
+
+
 def test_check_mvcc_invalid_tx_does_not_poison_block_writes():
     # An invalid earlier tx must NOT mark its write keys as updated.
     from repro.common.types import Block
