@@ -1,0 +1,23 @@
+"""Wall-clock perf-suite configuration.
+
+Unlike the paper-reproduction benchmarks (which assert result *shape*),
+this suite times the simulator itself.  Timing runs are noisy and slow,
+so every test here carries ``@pytest.mark.bench`` and the suite is
+deselected by default (``addopts`` includes ``-m "not bench"``); opt in
+with::
+
+    pytest benchmarks/perf -m bench               # smoke scale
+    REPRO_BENCH_FULL=1 pytest benchmarks/perf -m bench   # paper scale
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def perf_scale() -> str:
+    """``"full"`` (paper-scale) when REPRO_BENCH_FULL=1, else ``"smoke"``."""
+    return "full" if os.environ.get("REPRO_BENCH_FULL") == "1" else "smoke"

@@ -1,0 +1,65 @@
+"""Wall-clock benchmark suite over the perfbench scenario matrix.
+
+Each test runs one scenario of :mod:`repro.experiments.perfbench` (the
+same harness behind ``repro perfbench``), reports its host-seconds and
+kernel events/second, and asserts the run's trace digest matches the
+committed golden — a timing number is only meaningful if the run did
+exactly the simulated work it claims.  The final test writes the whole
+matrix to ``BENCH_PR5.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import perfbench
+
+pytestmark = pytest.mark.bench
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.mark.parametrize("name", sorted(perfbench.SCENARIOS))
+def test_scenario_wallclock(name: str, perf_scale: str) -> None:
+    result = perfbench.run_scenario(name, scale=perf_scale)
+    print(f"\n{name}@{perf_scale}: {result.wall_s:.3f}s wall, "
+          f"{result.events_per_s:,.0f} events/s, "
+          f"{result.sim_tps:.1f} sim tx/s")
+    assert result.events > 0
+    assert result.sim_tps > 0
+    expected = perfbench.load_goldens().get(
+        perfbench.golden_key(name, perf_scale))
+    assert expected is not None, f"no golden for {name}@{perf_scale}"
+    assert result.digest == expected, (
+        f"{name}@{perf_scale}: schedule diverged from the committed golden "
+        f"(expected {expected}, observed {result.digest}); the timing above "
+        f"does not describe the benchmarked workload")
+
+
+def test_reference_scenario_event_rate(perf_scale: str) -> None:
+    """The speedup target's guardrail: the kernel must stay fast.
+
+    The absolute wall-clock floor is machine-dependent, so the assertion
+    is a deliberately loose events/second bound that any post-PR-5 kernel
+    clears by a wide margin on commodity hardware, but a reintroduced
+    per-event regression (say, an accidental O(n) scan in the pop loop)
+    would immediately fail.
+    """
+    result = perfbench.run_scenario(perfbench.REFERENCE_SCENARIO,
+                                    scale=perf_scale)
+    assert result.events_per_s > 10_000, (
+        f"kernel slowed to {result.events_per_s:,.0f} events/s on the "
+        f"reference scenario — over an order of magnitude below the "
+        f"optimised baseline (~100k/s)")
+
+
+def test_write_bench_trajectory(perf_scale: str) -> None:
+    """Run the full matrix, check every golden, write BENCH_PR5.json."""
+    report = perfbench.run_perfbench(scale=perf_scale, check_golden=True)
+    out = REPO_ROOT / perfbench.BENCH_FILE
+    report.write_bench_file(out)
+    print(f"\n{report.render()}\nbenchmark trajectory written to {out}")
+    assert report.ok, "golden digest divergence (see rendered table above)"
+    assert len(report.results) >= 6

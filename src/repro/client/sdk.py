@@ -120,9 +120,14 @@ class ClientNode(NodeBase):
         is ``"committed"``, ``"invalid"`` (on-chain but flagged), or a
         rejection reason.
         """
+        # Daemon + eager: the open-loop workload discards the handle (a
+        # joiner that does yield it still works, see Simulation.process),
+        # and starting at spawn keeps per-client FIFO order while skipping
+        # the init pop.
         return self.sim.process(
             self._transaction_flow(chaincode, function, tuple(args),
-                                   tx_size))
+                                   tx_size),
+            daemon=True, eager=True)
 
     # ------------------------------------------------------------------
     # The transaction flow

@@ -44,11 +44,16 @@ class CryptoProvider:
     copy constructed from the same root secret).
     """
 
+    #: Cap on memoised verification verdicts.  Verification is pure, so a
+    #: full cache is simply cleared; correctness never depends on a hit.
+    VERIFY_CACHE_MAX = 65536
+
     def __init__(self, root_secret: bytes) -> None:
         if not root_secret:
             raise ValueError("root secret must be non-empty")
         self._root_secret = root_secret
         self._key_cache: dict[str, bytes] = {}
+        self._verify_cache: dict[tuple[Signature, bytes], bool] = {}
 
     def derive_key(self, subject: str) -> bytes:
         """The signing key for ``subject`` (deterministic)."""
@@ -67,10 +72,27 @@ class CryptoProvider:
         return Signature(signer=subject, digest=digest, mac=mac)
 
     def verify(self, signature: Signature, message: bytes) -> bool:
-        """True iff ``signature`` is a valid signature over ``message``."""
+        """True iff ``signature`` is a valid signature over ``message``.
+
+        Verification is pure (same inputs, same verdict) and, during the
+        validate phase, every one of the network's peers verifies the very
+        same endorsement signatures — so verdicts are memoised per
+        ``(signature, message)`` pair.  A dict probe costs a short-string
+        hash; a miss costs three SHA-256 passes.
+        """
+        cache = self._verify_cache
+        key = (signature, message)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
         if sha256_hex(message) != signature.digest:
-            return False
-        expected = hmac.new(self.derive_key(signature.signer),
-                            signature.digest.encode("utf-8"),
-                            hashlib.sha256).hexdigest()
-        return hmac.compare_digest(expected, signature.mac)
+            result = False
+        else:
+            expected = hmac.new(self.derive_key(signature.signer),
+                                signature.digest.encode("utf-8"),
+                                hashlib.sha256).hexdigest()
+            result = hmac.compare_digest(expected, signature.mac)
+        if len(cache) >= self.VERIFY_CACHE_MAX:
+            cache.clear()
+        cache[key] = result
+        return result

@@ -74,13 +74,23 @@ class TxReadWriteSet:
         return tuple(write.key for write in self.writes)
 
     def digest(self) -> str:
-        """Stable digest used for endorsement comparison and signing."""
-        parts = [f"r:{r.key}:{r.version}" for r in self.reads]
-        parts += [
-            f"w:{w.key}:{sha256_hex(w.value)}:{w.is_delete}"
-            for w in self.writes
-        ]
-        return sha256_hex("|".join(parts).encode("utf-8"))
+        """Stable digest used for endorsement comparison and signing.
+
+        Cached per instance: the class is frozen, so the digest can never
+        go stale, and the same rw-set is digested by every endorser plus
+        the block's data hash.  (``dataclasses.replace`` builds a fresh
+        instance, so derived copies never inherit the cache.)
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            parts = [f"r:{r.key}:{r.version}" for r in self.reads]
+            parts += [
+                f"w:{w.key}:{sha256_hex(w.value)}:{w.is_delete}"
+                for w in self.writes
+            ]
+            cached = sha256_hex("|".join(parts).encode("utf-8"))
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
 
 @dataclasses.dataclass(frozen=True)
@@ -133,9 +143,14 @@ class ProposalResponse:
         return self.status == 200 and self.endorsement is not None
 
     def response_bytes(self) -> bytes:
-        rwset_digest = self.rwset.digest() if self.rwset else "-"
-        return (f"{self.tx_id}|{self.status}|{rwset_digest}|"
-                f"{sha256_hex(self.payload)}").encode("utf-8")
+        """Canonical bytes signed by ESCC (cached; the class is frozen)."""
+        cached = self.__dict__.get("_response_bytes")
+        if cached is None:
+            rwset_digest = self.rwset.digest() if self.rwset else "-"
+            cached = (f"{self.tx_id}|{self.status}|{rwset_digest}|"
+                      f"{sha256_hex(self.payload)}").encode("utf-8")
+            object.__setattr__(self, "_response_bytes", cached)
+        return cached
 
 
 @dataclasses.dataclass

@@ -12,6 +12,8 @@ Usage::
     repro faults --scenario raft-leader-kill   # double run + criteria
     repro statedb                      # state-DB backend ablation (Thakkar)
     repro check-determinism --orderer solo --statedb couchdb
+    repro perfbench                    # wall-clock benchmarks, all scenarios
+    repro perfbench --smoke --check-golden --out BENCH_PR5.json  # CI gate
 
 (``repro`` and ``fabric-repro`` are the same entry point.)
 """
@@ -168,6 +170,29 @@ def _run_statedb(args) -> int:
     return 0 if ablation.ok else 1
 
 
+def _run_perfbench(args) -> int:
+    """The ``perfbench`` subcommand: wall-clock runs + golden digests."""
+    from repro.experiments.perfbench import SMOKE_SCENARIOS, run_perfbench
+
+    names = args.scenarios
+    scale = "smoke" if args.smoke else "full"
+    if names is None and args.smoke:
+        names = SMOKE_SCENARIOS
+    report = run_perfbench(
+        names, seed=args.seed, scale=scale,
+        check_golden=args.check_golden, update_golden=args.update_golden)
+    print(report.render())
+    if args.out:
+        report.write_bench_file(args.out)
+        print(f"benchmark trajectory written to {args.out}")
+    if not report.ok:
+        print("perfbench: golden digest check FAILED (the simulated "
+              "schedule changed; if deliberate, regenerate with "
+              "--update-golden)")
+        return 1
+    return 0
+
+
 def _results_for(experiment_id: str, mode: str, seed: int):
     if experiment_id == "tab1":
         return [run_table1()]
@@ -198,14 +223,16 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
                         choices=(EXPERIMENT_IDS
                                  + ["all", "trace", "lint",
                                     "check-determinism", "faults",
-                                    "statedb"]),
+                                    "statedb", "perfbench"]),
                         help="which artifact to regenerate; 'trace' for an "
                              "observed run with bottleneck attribution; "
                              "'lint' for the simlint determinism analyzer; "
                              "'check-determinism' for same-seed double-run "
                              "schedule diffing; 'faults' for the "
                              "fault-injection recovery scenarios; 'statedb' "
-                             "for the state-database backend ablation")
+                             "for the state-database backend ablation; "
+                             "'perfbench' for wall-clock benchmarks of the "
+                             "simulator itself with golden-digest checks")
     parser.add_argument("--full", action="store_true",
                         help="run the paper-scale sweep (slower)")
     parser.add_argument("--seed", type=int, default=1,
@@ -267,7 +294,26 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
                               help="run one scenario (default: all)")
     faults_group.add_argument("--smoke", action="store_true",
                               help="single run per scenario instead of the "
-                                   "same-seed determinism double run")
+                                   "same-seed determinism double run; for "
+                                   "perfbench: the scaled-down CI subset")
+    perf_group = parser.add_argument_group(
+        "perfbench options",
+        "only used with the 'perfbench' experiment; --seed and --smoke "
+        "also apply")
+    perf_group.add_argument("--perf-scenario", dest="scenarios",
+                            action="append", default=None, metavar="NAME",
+                            help="benchmark one scenario (repeatable; "
+                                 "default: all, or the smoke subset with "
+                                 "--smoke)")
+    perf_group.add_argument("--out", default=None, metavar="PATH",
+                            help="write the {scenario: {wall_s, sim_tps, "
+                                 "events_per_s}} benchmark JSON to PATH")
+    perf_group.add_argument("--check-golden", action="store_true",
+                            help="fail if any run's trace digest diverges "
+                                 "from the committed golden value")
+    perf_group.add_argument("--update-golden", action="store_true",
+                            help="deliberately regenerate the committed "
+                                 "golden digests from this run")
     args = parser.parse_args(argv)
 
     if args.experiment == "lint":
@@ -278,6 +324,8 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         return _run_faults(args)
     if args.experiment == "statedb":
         return _run_statedb(args)
+    if args.experiment == "perfbench":
+        return _run_perfbench(args)
     if args.experiment == "trace":
         if args.orderer is None:
             args.orderer = "solo"

@@ -1,0 +1,323 @@
+"""Wall-clock benchmarks of the simulator itself, with golden digests.
+
+Every paper artifact is a sweep of full network simulations, so the
+wall-clock cost of the pure-Python event loop bounds how many scenarios we
+can explore.  This module measures that cost directly: it times reference
+runs across the configuration matrix the paper cares about (solo/raft/kafka
+ordering, OR and AND endorsement policies, LevelDB and CouchDB state
+backends) and reports, per scenario:
+
+- ``wall_s``       — host seconds for the run (the quantity being optimised);
+- ``sim_tps``      — committed transactions per *simulated* second, which
+  must not move when only the host-side implementation changes;
+- ``events_per_s`` — kernel events popped per host second, the simulator's
+  native throughput metric (independent of the modelled workload).
+
+Correctness oracle: each run executes with a
+:class:`~repro.sim.sanitizer.TraceDigest` attached, and the resulting
+digest is compared against a *golden* value committed under
+``tests/fabric/golden/``.  A matching digest proves a refactor changed
+speed but not the event schedule (same pops, same order, same times).
+Optimisations that intentionally remove bookkeeping events (the
+uncontended-resource fast path, daemon/eager processes) change the digest
+by construction; those were validated instead by bit-identical
+:class:`~repro.metrics.collector.PhaseMetrics` across the whole scenario
+matrix before regenerating the goldens (see EXPERIMENTS.md).  Regenerating
+is always a deliberate act: ``repro perfbench --update-golden`` or
+``pytest --update-golden``.
+
+CLI::
+
+    repro perfbench                      # full scenarios, report only
+    repro perfbench --smoke              # scaled-down subset (CI gate)
+    repro perfbench --check-golden       # fail on any digest divergence
+    repro perfbench --out BENCH_PR5.json # write the benchmark trajectory
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import time
+import typing
+
+from repro.common.config import StateDBConfig
+from repro.experiments.runner import make_topology, make_workload
+from repro.fabric.network import FabricNetwork
+from repro.sim.sanitizer import TraceDigest
+
+#: Seed used for every golden digest; changing it invalidates the goldens.
+GOLDEN_SEED = 1
+
+#: Benchmark trajectory file for this PR (see ISSUE 5 / EXPERIMENTS.md).
+BENCH_FILE = "BENCH_PR5.json"
+
+
+@dataclasses.dataclass(frozen=True)
+class PerfScenario:
+    """One benchmarked configuration at full (paper-style) scale."""
+
+    name: str
+    orderer_kind: str
+    policy: str
+    statedb_kind: str = "leveldb"
+    rate: float = 250.0
+    duration: float = 15.0
+    peers: int = 10
+
+    def at_scale(self, scale: str) -> "PerfScenario":
+        """The scenario at ``"full"`` or scaled-down ``"smoke"`` size.
+
+        Smoke scale matches the determinism-check defaults (4 peers,
+        60 tx/s for 4 simulated seconds): every phase of the pipeline is
+        exercised on every backend while a run stays under a second.
+        """
+        if scale == "full":
+            return self
+        if scale != "smoke":
+            raise ValueError(f"unknown scale {scale!r}")
+        return dataclasses.replace(self, rate=60.0, duration=4.0, peers=4)
+
+    def statedb_config(self) -> StateDBConfig:
+        if self.statedb_kind == "couchdb":
+            # The representative CouchDB deployment: Thakkar-style read
+            # cache and bulk batching on, periodic snapshots.
+            return StateDBConfig(kind="couchdb", cache=True, bulk=True,
+                                 snapshot_interval=3)
+        return StateDBConfig(kind=self.statedb_kind)
+
+
+def _scenario_list() -> list[PerfScenario]:
+    return [
+        PerfScenario("solo-or-leveldb", "solo", "OR10"),
+        # The reference Fig. 2-style point: Solo under AND5 driven past the
+        # validate-phase capacity — the paper's (and our) worst hot path.
+        PerfScenario("solo-and-leveldb", "solo", "AND5"),
+        PerfScenario("raft-or-leveldb", "raft", "OR10"),
+        PerfScenario("raft-and-leveldb", "raft", "AND5"),
+        PerfScenario("kafka-or-leveldb", "kafka", "OR10"),
+        PerfScenario("kafka-and-leveldb", "kafka", "AND5"),
+        PerfScenario("solo-and-couchdb", "solo", "AND5",
+                     statedb_kind="couchdb"),
+        PerfScenario("raft-and-couchdb", "raft", "AND5",
+                     statedb_kind="couchdb"),
+    ]
+
+
+SCENARIOS: dict[str, PerfScenario] = {
+    scenario.name: scenario for scenario in _scenario_list()}
+
+#: The scenario whose wall-clock time anchors the PR-5 speedup target.
+REFERENCE_SCENARIO = "solo-and-leveldb"
+
+#: CI smoke subset: one scaled-down scenario per orderer type, plus the
+#: CouchDB backend so both state databases stay covered.
+SMOKE_SCENARIOS = ["solo-and-leveldb", "raft-and-leveldb",
+                   "kafka-or-leveldb", "solo-and-couchdb"]
+
+
+@dataclasses.dataclass
+class PerfResult:
+    """One timed, digested scenario run."""
+
+    scenario: str
+    scale: str
+    seed: int
+    wall_s: float
+    sim_tps: float
+    events_per_s: float
+    events: int
+    digest: str
+    #: Golden verdict: True/False once checked, None when unchecked.
+    golden_ok: bool | None = None
+    #: The committed golden digest, when a check ran and one existed.
+    golden_expected: str | None = None
+
+    def bench_entry(self) -> dict[str, typing.Any]:
+        """The ``BENCH_PR5.json`` row for this run."""
+        return {
+            "wall_s": round(self.wall_s, 4),
+            "sim_tps": round(self.sim_tps, 2),
+            "events_per_s": round(self.events_per_s, 1),
+            "events": self.events,
+            "digest": self.digest,
+            "scale": self.scale,
+            "seed": self.seed,
+        }
+
+
+def _build_network(scenario: PerfScenario, seed: int) -> FabricNetwork:
+    topology = make_topology(scenario.orderer_kind, scenario.policy,
+                             scenario.peers,
+                             statedb=scenario.statedb_config())
+    workload = make_workload(scenario.rate, scenario.duration)
+    return FabricNetwork(topology, workload, seed=seed)
+
+
+def run_scenario(name: str, seed: int = GOLDEN_SEED,
+                 scale: str = "full") -> PerfResult:
+    """Benchmark one scenario: a timed run plus a digested companion run.
+
+    The timed run executes without the determinism sanitizer attached, so
+    ``wall_s`` measures the simulator itself rather than the SHA-256
+    digesting (which roughly doubles a run's cost).  A second run from the
+    same seed then produces the :class:`TraceDigest` compared against the
+    golden value — same seed, same schedule, so the digest certifies the
+    timed run too.
+    """
+    scenario = SCENARIOS[name].at_scale(scale)
+    timed = _build_network(scenario, seed)
+    # Wall-clock reads are the whole point of this harness: the measured
+    # quantity is host time, never fed back into the simulation.
+    started = time.perf_counter()  # simlint: disable=SL002
+    metrics = timed.run_workload()
+    wall = time.perf_counter() - started  # simlint: disable=SL002
+    events = timed.sim.events_processed
+    return PerfResult(
+        scenario=name, scale=scale, seed=seed, wall_s=wall,
+        sim_tps=metrics.overall_throughput,
+        events_per_s=events / wall if wall > 0 else 0.0,
+        events=events, digest=digest_scenario(name, seed=seed, scale=scale))
+
+
+def digest_scenario(name: str, seed: int = GOLDEN_SEED,
+                    scale: str = "full") -> str:
+    """The trace digest of one (untimed) scenario run.
+
+    This is the digest-only half of :func:`run_scenario`, exposed so the
+    golden-digest tests can check schedules without paying for a second,
+    timed run.
+    """
+    scenario = SCENARIOS[name].at_scale(scale)
+    network = _build_network(scenario, seed)
+    digest = TraceDigest(network.sim, keep_records=False).attach()
+    try:
+        network.run_workload()
+    finally:
+        digest.detach()
+    return digest.hexdigest
+
+
+# ----------------------------------------------------------------------
+# Golden digests
+# ----------------------------------------------------------------------
+
+def golden_key(name: str, scale: str) -> str:
+    return f"{name}@{scale}"
+
+
+def golden_path() -> pathlib.Path:
+    """Location of the committed golden digests.
+
+    ``REPRO_GOLDEN_DIR`` overrides the default (the repository's
+    ``tests/fabric/golden/``, resolved relative to this file so the path
+    works from any working directory).
+    """
+    override = os.environ.get("REPRO_GOLDEN_DIR")
+    if override:
+        return pathlib.Path(override) / "digests.json"
+    return (pathlib.Path(__file__).resolve().parents[3]
+            / "tests" / "fabric" / "golden" / "digests.json")
+
+
+def load_goldens(path: pathlib.Path | None = None) -> dict[str, str]:
+    path = path if path is not None else golden_path()
+    if not path.exists():
+        return {}
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_goldens(goldens: dict[str, str],
+                 path: pathlib.Path | None = None) -> pathlib.Path:
+    path = path if path is not None else golden_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(dict(sorted(goldens.items())), handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# The benchmark driver
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class PerfBenchReport:
+    """All scenario results of one ``repro perfbench`` invocation."""
+
+    results: list[PerfResult]
+    scale: str
+    seed: int
+    checked: bool
+
+    @property
+    def ok(self) -> bool:
+        """False iff a golden check ran and found a divergence."""
+        return not any(result.golden_ok is False for result in self.results)
+
+    def write_bench_file(self, path: str | pathlib.Path) -> None:
+        payload = {result.scenario: result.bench_entry()
+                   for result in self.results}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def render(self) -> str:
+        width = max(len(result.scenario) for result in self.results)
+        lines = [f"perfbench ({self.scale} scale, seed {self.seed})",
+                 f"{'scenario':<{width}}  {'wall_s':>8}  {'sim_tps':>8}  "
+                 f"{'events/s':>10}  golden"]
+        for result in self.results:
+            if result.golden_ok is None:
+                verdict = "-"
+            elif result.golden_ok:
+                verdict = "ok"
+            else:
+                verdict = ("MISSING" if result.golden_expected is None
+                           else "DIVERGED")
+            lines.append(
+                f"{result.scenario:<{width}}  {result.wall_s:>8.2f}  "
+                f"{result.sim_tps:>8.1f}  {result.events_per_s:>10.0f}  "
+                f"{verdict}")
+        return "\n".join(lines)
+
+
+def run_perfbench(names: typing.Sequence[str] | None = None,
+                  seed: int = GOLDEN_SEED, scale: str = "full",
+                  check_golden: bool = False,
+                  update_golden: bool = False) -> PerfBenchReport:
+    """Run ``names`` (default: every scenario) at ``scale``.
+
+    With ``check_golden``, each result is compared against the committed
+    golden digest (a missing golden entry fails the check: a new scenario
+    must be golden-ed deliberately).  With ``update_golden``, the goldens
+    file is rewritten with the observed digests instead.
+    """
+    if names is None:
+        names = list(SCENARIOS)
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        raise KeyError(f"unknown perfbench scenario(s): {unknown}; "
+                       f"known: {sorted(SCENARIOS)}")
+    results = [run_scenario(name, seed=seed, scale=scale) for name in names]
+    if update_golden:
+        goldens = load_goldens()
+        for result in results:
+            goldens[golden_key(result.scenario, result.scale)] = result.digest
+        save_goldens(goldens)
+        for result in results:
+            result.golden_ok = True
+    elif check_golden:
+        goldens = load_goldens()
+        for result in results:
+            expected = goldens.get(golden_key(result.scenario, result.scale))
+            result.golden_expected = expected
+            # A missing golden fails the check too: a new scenario must be
+            # golden-ed deliberately via --update-golden.
+            result.golden_ok = expected == result.digest
+    return PerfBenchReport(results=results, scale=scale, seed=seed,
+                           checked=check_golden or update_golden)

@@ -115,7 +115,7 @@ class BlockValidator:
             return
         self._pending[block.number] = block
         if not self._committing:
-            self._peer.sim.process(self._drain())
+            self._peer.sim.process(self._drain(), daemon=True)
 
     def _drain(self):
         self._committing = True
@@ -205,7 +205,10 @@ class BlockValidator:
             #    slot is released so every worker can serve VSCC jobs).
             flags: list[ValidationCode | None] = (
                 [None] * len(block.transactions))
-            jobs = [peer.sim.process(self._vscc_one(envelope, flags, index))
+            # Eager spawn: each job claims its worker slot at spawn, in
+            # list order — the same FIFO order the init pops would give.
+            jobs = [peer.sim.process(self._vscc_one(envelope, flags, index),
+                                     eager=True)
                     for index, envelope in enumerate(block.transactions)]
             if jobs:
                 yield peer.sim.all_of(jobs)

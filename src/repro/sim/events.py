@@ -9,6 +9,7 @@ re-raised inside the waiting process).
 from __future__ import annotations
 
 import typing
+from heapq import heappush
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.core import Simulation
@@ -24,7 +25,13 @@ class Event:
     *triggered* (scheduled to fire at the current simulation time), and
     *processed* (callbacks have run).  Waiting processes register callbacks;
     the simulation loop invokes them when the event is popped from the heap.
+
+    Events are the kernel's unit of allocation — hundreds of thousands per
+    reference run — so the whole hierarchy uses ``__slots__`` and triggering
+    pushes straight onto the simulation heap.
     """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, sim: "Simulation") -> None:
         self.sim = sim
@@ -61,22 +68,26 @@ class Event:
 
     def succeed(self, value: typing.Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.sim._enqueue(self)
+        sim = self.sim
+        heappush(sim._heap, (sim._now, sim._seq, self))
+        sim._seq += 1
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event as failed with ``exception``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
         self._ok = False
         self._value = exception
-        self.sim._enqueue(self)
+        sim = self.sim
+        heappush(sim._heap, (sim._now, sim._seq, self))
+        sim._seq += 1
         return self
 
     def __repr__(self) -> str:
@@ -88,15 +99,25 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulation", delay: float,
                  value: typing.Any = None) -> None:
         if delay < 0:
-            raise ValueError(f"negative delay {delay}")
-        super().__init__(sim)
-        self.delay = delay
+            raise ValueError(
+                f"timeout delay must be >= 0, got {delay} "
+                f"(a negative delay would schedule into the past)")
+        # Event.__init__ is inlined: timeouts are the single most common
+        # allocation in a run, and the attribute values differ anyway
+        # (a timeout is born carrying its value).
+        self.sim = sim
+        self.callbacks = []
         self._ok = True
         self._value = value
-        sim._enqueue(self, delay=delay)
+        self.defused = False
+        self.delay = delay
+        heappush(sim._heap, (sim._now + delay, sim._seq, self))
+        sim._seq += 1
 
     @property
     def triggered(self) -> bool:
@@ -120,6 +141,8 @@ class ConditionValue:
     which of the awaited events fired first and with what value.
     """
 
+    __slots__ = ("events",)
+
     def __init__(self, events: list[Event]) -> None:
         self.events = events
 
@@ -140,6 +163,8 @@ class ConditionValue:
 
 class _Condition(Event):
     """Base for composite events over a fixed list of sub-events."""
+
+    __slots__ = ("_events", "_fired")
 
     def __init__(self, sim: "Simulation", events: typing.Sequence[Event]) -> None:
         super().__init__(sim)
@@ -183,6 +208,8 @@ class AnyOf(_Condition):
     SimPy's behaviour and keeps fan-in loops simple).
     """
 
+    __slots__ = ()
+
     def _check(self, initial: bool) -> None:
         if self._fired or not self._events:
             self._finish()
@@ -190,6 +217,8 @@ class AnyOf(_Condition):
 
 class AllOf(_Condition):
     """Fires when all of the given events have fired."""
+
+    __slots__ = ()
 
     def _check(self, initial: bool) -> None:
         if len(self._fired) == len(self._events):

@@ -37,7 +37,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 _message_counter = itertools.count()
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Message:
     """A network message between two named nodes."""
 
@@ -102,6 +102,10 @@ class Network:
         self._links: dict[tuple[str, str], Link] = {}
         self._nics: dict[str, Resource] = {}
         self._down_nodes: set[str] = set()
+        # Per-source latency stream, resolved once instead of an f-string
+        # plus registry probe per transmitted message.  Same stream object,
+        # same draw sequence — the schedule is unchanged.
+        self._latency_rng: dict[str, typing.Any] = {}
 
     # ------------------------------------------------------------------
     # Topology
@@ -166,29 +170,46 @@ class Network:
         if message.source in self._down_nodes:
             raise NodeDownError(f"node {message.source!r} is down")
         message.sent_at = self.sim.now
-        self.sim.process(self._transmit(message))
+        self.sim.process(self._transmit(message), daemon=True, eager=True)
 
     def _transmit(self, message: Message) -> typing.Generator[Event, None, None]:
-        link = self.link(message.source, message.destination)
+        # One generator instance per message: locals are hoisted once and
+        # the NIC dict is probed a single time.
+        sim = self.sim
+        source = message.source
+        link = self.link(source, message.destination)
         # Serialization at the sender's (single, shared) NIC.
-        request = self._nics[message.source].request()
+        nic = self._nics[source]
+        request = nic.request()
         yield request
         try:
-            yield self.sim.timeout(link.transmission_delay(message.size))
+            yield sim.timeout(message.size / link.bandwidth)
         finally:
-            self._nics[message.source].release(request)
+            nic.release(request)
         link.bytes_sent += message.size
         link.messages_sent += 1
-        latency = self.rng.jittered(
-            f"net.latency.{message.source}", link.latency,
-            self.latency_jitter)
-        yield self.sim.timeout(latency)
+        # Inlined RngRegistry.jittered (same draw semantics: no stream
+        # consumption when jitter is off, clamped uniform otherwise).
+        jitter = self.latency_jitter
+        mean = link.latency
+        if jitter <= 0:
+            latency = mean
+        else:
+            stream = self._latency_rng.get(source)
+            if stream is None:
+                stream = self.rng.stream(f"net.latency.{source}")
+                self._latency_rng[source] = stream
+            latency = stream.uniform(mean * (1.0 - jitter),
+                                     mean * (1.0 + jitter))
+            if latency < 0.0:
+                latency = 0.0
+        yield sim.timeout(latency)
         if (not link.up
-                or message.source in self._down_nodes
+                or source in self._down_nodes
                 or message.destination in self._down_nodes):
             link.messages_dropped += 1
             return
-        message.delivered_at = self.sim.now
+        message.delivered_at = sim.now
         self._mailboxes[message.destination].put(message)
 
     def receive(self, name: str) -> Event:

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import collections
 import typing
+from heapq import heappush
 
-from repro.sim.events import Event
+from repro.sim.events import _PENDING, Event
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.core import Simulation
@@ -20,8 +21,16 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class Request(Event):
     """A pending or granted claim on a :class:`Resource` slot."""
 
+    __slots__ = ("resource", "queued_at")
+
     def __init__(self, resource: "Resource") -> None:
-        super().__init__(resource.sim)
+        # Event.__init__ inlined: one Request per resource acquisition
+        # makes this the second most common allocation in a run.
+        self.sim = resource.sim
+        self.callbacks: list[typing.Callable[[Event], None]] | None = []
+        self._value: typing.Any = _PENDING
+        self._ok = True
+        self.defused = False
         self.resource = resource
         #: Simulated time the request entered the wait queue (observability).
         self.queued_at: float | None = None
@@ -42,6 +51,8 @@ class Resource:
     or, more conveniently, ``yield from resource.use(service_time)``.
     """
 
+    __slots__ = ("sim", "capacity", "name", "monitor", "_users", "_queue")
+
     def __init__(self, sim: "Simulation", capacity: int = 1,
                  name: str | None = None) -> None:
         if capacity < 1:
@@ -53,7 +64,7 @@ class Resource:
         #: Attached :class:`~repro.obs.sampler.ResourceMonitor`, if any.
         #: When ``None`` (the default) instrumentation costs one ``is``
         #: test per state change and records nothing.
-        self.monitor = None
+        self.monitor: typing.Any = None
         self._users: set[Request] = set()
         self._queue: collections.deque[Request] = collections.deque()
 
@@ -70,17 +81,23 @@ class Resource:
     def request(self) -> Request:
         """Claim a slot; the returned event fires when the slot is granted."""
         request = Request(self)
-        if len(self._users) < self.capacity:
-            self._users.add(request)
-            request.succeed()
+        users = self._users
+        if len(users) < self.capacity:
+            users.add(request)
+            # Inlined request.succeed(): a fresh Request cannot have been
+            # triggered, so only the trigger-and-schedule half remains.
+            request._value = None
+            sim = self.sim
+            heappush(sim._heap, (sim._now, sim._seq, request))
+            sim._seq += 1
             if self.monitor is not None:
                 self.monitor.on_grant(0.0)
-                self.monitor.on_state(len(self._users), len(self._queue))
+                self.monitor.on_state(len(users), len(self._queue))
         else:
             request.queued_at = self.sim.now
             self._queue.append(request)
             if self.monitor is not None:
-                self.monitor.on_state(len(self._users), len(self._queue))
+                self.monitor.on_state(len(users), len(self._queue))
         return request
 
     def release(self, request: Request) -> None:
@@ -105,7 +122,29 @@ class Resource:
         A sub-generator for ``yield from``: acquires, holds, releases, and is
         exception-safe (the slot is released even if the caller is
         interrupted while holding it).
+
+        When a slot is free the claim happens synchronously — no grant
+        event is scheduled, and the only yield is the service timeout.
+        Acquisition time is identical either way (an immediate grant fires
+        at the same timestamp it was requested), and FIFO order among
+        *contended* requests is untouched: the queue is non-empty only when
+        every slot is held, which forces the slow path.  Uncontended
+        acquisitions dominate a reference run, and skipping their grant
+        pops removes about a quarter of all kernel events.
         """
+        users = self._users
+        if len(users) < self.capacity and not self._queue:
+            request = Request(self)
+            request._value = None  # triggered; it is never waited on
+            users.add(request)
+            if self.monitor is not None:
+                self.monitor.on_grant(0.0)
+                self.monitor.on_state(len(users), len(self._queue))
+            try:
+                yield self.sim.timeout(duration)
+            finally:
+                self.release(request)
+            return
         request = self.request()
         yield request
         try:
@@ -117,7 +156,11 @@ class Resource:
         if self._queue and len(self._users) < self.capacity:
             request = self._queue.popleft()
             self._users.add(request)
-            request.succeed()
+            # Inlined request.succeed() (see request()).
+            request._value = None
+            sim = self.sim
+            heappush(sim._heap, (sim._now, sim._seq, request))
+            sim._seq += 1
             if self.monitor is not None:
                 wait = (self.sim.now - request.queued_at
                         if request.queued_at is not None else 0.0)
@@ -132,12 +175,14 @@ class Store:
     FIFO order of both items and getters.
     """
 
+    __slots__ = ("sim", "name", "monitor", "_items", "_getters")
+
     def __init__(self, sim: "Simulation", name: str | None = None) -> None:
         self.sim = sim
         #: Identity for observability; also used in monitor reports.
         self.name = name
         #: Attached :class:`~repro.obs.sampler.ResourceMonitor`, if any.
-        self.monitor = None
+        self.monitor: typing.Any = None
         self._items: collections.deque[typing.Any] = collections.deque()
         self._getters: collections.deque[Event] = collections.deque()
 
@@ -151,23 +196,36 @@ class Store:
 
     def put(self, item: typing.Any) -> None:
         """Deposit ``item``, waking the oldest waiting getter if any."""
-        while self._getters:
-            getter = self._getters.popleft()
-            if not getter.triggered:
-                getter.succeed(item)
-                self._note_state()
+        getters = self._getters
+        while getters:
+            getter = getters.popleft()
+            if getter._value is _PENDING:
+                # Inlined getter.succeed(item).
+                getter._value = item
+                sim = self.sim
+                heappush(sim._heap, (sim._now, sim._seq, getter))
+                sim._seq += 1
+                if self.monitor is not None:
+                    self._note_state()
                 return
         self._items.append(item)
-        self._note_state()
+        if self.monitor is not None:
+            self._note_state()
 
     def get(self) -> Event:
         """Event firing with the next item (possibly already buffered)."""
-        event = Event(self.sim)
-        if self._items:
-            event.succeed(self._items.popleft())
+        sim = self.sim
+        event = Event(sim)
+        items = self._items
+        if items:
+            # Inlined event.succeed(next item).
+            event._value = items.popleft()
+            heappush(sim._heap, (sim._now, sim._seq, event))
+            sim._seq += 1
         else:
             self._getters.append(event)
-        self._note_state()
+        if self.monitor is not None:
+            self._note_state()
         return event
 
     def _note_state(self) -> None:

@@ -26,6 +26,10 @@ import dataclasses
 import hashlib
 import typing
 
+# Runtime import is safe (core does not import sanitizer at runtime) and
+# keeps the per-event hot path free of repeated module lookups.
+from repro.sim.core import Process
+
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.core import Simulation
     from repro.sim.events import Event
@@ -63,8 +67,6 @@ def _owner_of(event: "Event") -> str:
     *distinct* processes.  Memory addresses are deliberately excluded —
     labels must be identical across runs.
     """
-    from repro.sim.core import Process
-
     if isinstance(event, Process):
         return event.name
     names: list[str] = []
@@ -96,7 +98,10 @@ class TraceDigest:
         self.tie_count = 0
         self.tie_examples: list[TieRecord] = []
         self._hash = hashlib.sha256()
-        self._previous: TraceRecord | None = None
+        # (time, owner) of the previous pop — a bare tuple, not a
+        # TraceRecord, so digest-only runs allocate nothing per event
+        # beyond the hashed line itself.
+        self._previous: tuple[float, str] | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -116,26 +121,42 @@ class TraceDigest:
     # ------------------------------------------------------------------
 
     def record(self, when: float, seq: int, event: "Event") -> None:
-        rec = TraceRecord(time=when, seq=seq,
-                          event_type=type(event).__name__,
-                          owner=_owner_of(event))
+        # Inlined _owner_of: this method runs once per popped event, so a
+        # digested reference run pays it ~10^6 times.
+        if isinstance(event, Process):
+            owner = event.name
+        else:
+            owner = "-"
+            callbacks = event.callbacks
+            if callbacks:
+                names: list[str] | None = None
+                for callback in callbacks:
+                    target = getattr(callback, "__self__", None)
+                    if isinstance(target, Process):
+                        if names is None:
+                            names = [target.name]
+                        else:
+                            names.append(target.name)
+                if names is not None:
+                    owner = names[0] if len(names) == 1 else ",".join(names)
+        event_type = type(event).__name__
         # float.hex() is exact: two times digest equal iff bit-identical.
         self._hash.update(
-            f"{rec.time.hex()}|{rec.seq}|{rec.event_type}|{rec.owner}\n"
-            .encode("utf-8"))
+            f"{when.hex()}|{seq}|{event_type}|{owner}\n".encode("utf-8"))
         self.events_recorded += 1
         if self.keep_records:
-            self.records.append(rec)
+            self.records.append(TraceRecord(
+                time=when, seq=seq, event_type=event_type, owner=owner))
         previous = self._previous
-        if (previous is not None and previous.time == rec.time
-                and previous.owner != rec.owner
-                and rec.owner != "-" and previous.owner != "-"):
+        if (previous is not None and previous[0] == when
+                and previous[1] != owner
+                and owner != "-" and previous[1] != "-"):
             self.tie_count += 1
             if len(self.tie_examples) < self.MAX_TIE_EXAMPLES:
                 self.tie_examples.append(TieRecord(
-                    time=rec.time, first_owner=previous.owner,
-                    second_owner=rec.owner))
-        self._previous = rec
+                    time=when, first_owner=previous[1],
+                    second_owner=owner))
+        self._previous = (when, owner)
 
     # ------------------------------------------------------------------
     # Results

@@ -1,22 +1,20 @@
-"""Shared fixtures for ordering-service tests."""
+"""Shared fixtures for ordering-service tests.
+
+The channel name, context factory, and unendorsed-envelope builder are
+the suite-wide ones from ``tests/conftest.py``; this module adds the
+ordering-side rig (identity enrolment, a recording :class:`Sink`, and the
+``drive`` loop that broadcasts a workload through a service).
+"""
 
 from __future__ import annotations
 
-from repro.common.types import (
-    KVRead,
-    KVWrite,
-    TransactionEnvelope,
-    TxReadWriteSet,
-)
 from repro.msp import CertificateAuthority, Role
 from repro.runtime.context import NetworkContext
 from repro.runtime.node import NodeBase
+from tests.conftest import CHANNEL, make_context, make_envelope
 
-CHANNEL = "mychannel"
-
-
-def make_context(seed: int = 5) -> NetworkContext:
-    return NetworkContext.create(seed=seed)
+__all__ = ["CHANNEL", "Sink", "drive", "make_ca", "make_context",
+           "make_envelope", "orderer_identities"]
 
 
 def make_ca() -> CertificateAuthority:
@@ -25,14 +23,6 @@ def make_ca() -> CertificateAuthority:
 
 def orderer_identities(ca: CertificateAuthority, count: int):
     return [ca.enroll(f"osn{i}", Role.ORDERER) for i in range(count)]
-
-
-def make_envelope(tx_id: str, channel: str = CHANNEL) -> TransactionEnvelope:
-    rwset = TxReadWriteSet(reads=(KVRead(tx_id, None),),
-                           writes=(KVWrite(tx_id, b"v"),))
-    return TransactionEnvelope(
-        tx_id=tx_id, channel=channel, chaincode="noop", creator="client0",
-        rwset=rwset, endorsements=(), response_bytes=b"resp")
 
 
 class Sink(NodeBase):

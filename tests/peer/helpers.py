@@ -1,4 +1,9 @@
-"""Shared fixtures for peer tests."""
+"""Shared fixtures for peer tests.
+
+The channel name and rwset builder are the suite-wide ones from
+``tests/conftest.py``; this module adds the peer-side rig (a CA, an MSP,
+and joined peers) plus endorsed-envelope and signed-block construction.
+"""
 
 from __future__ import annotations
 
@@ -10,8 +15,6 @@ from repro.chaincode import (
 from repro.chaincode.policy import EndorsementPolicy, resolve_policy_spec
 from repro.common.types import (
     Endorsement,
-    KVRead,
-    KVWrite,
     ProposalResponse,
     TransactionEnvelope,
     TxReadWriteSet,
@@ -19,8 +22,9 @@ from repro.common.types import (
 from repro.msp import MSP, CertificateAuthority, Role
 from repro.peer.peer import PeerNode
 from repro.runtime.context import NetworkContext
+from tests.conftest import CHANNEL, write_rwset
 
-CHANNEL = "mychannel"
+__all__ = ["CHANNEL", "PeerRig", "make_signed_block", "write_rwset"]
 
 
 class PeerRig:
@@ -79,12 +83,6 @@ class PeerRig:
             creator="client0", rwset=rwset,
             endorsements=tuple(endorsements),
             response_bytes=response_bytes)
-
-
-def write_rwset(key: str, value: bytes = b"v",
-                read_version=None) -> TxReadWriteSet:
-    return TxReadWriteSet(reads=(KVRead(key, read_version),),
-                          writes=(KVWrite(key, value),))
 
 
 def make_signed_block(rig: PeerRig, peer: PeerNode, envelopes,

@@ -1,0 +1,248 @@
+"""Property-based invariants of the simulation kernel.
+
+The PR-5 hot-path work rewired the kernel's innermost machinery — inlined
+event triggering, an uncontended fast path in :meth:`Resource.use`, daemon
+and eager processes — so these tests pin the invariants that rewiring must
+never break, over hypothesis-generated schedules rather than hand-picked
+ones:
+
+1. the event loop pops events in non-decreasing ``(time, seq)`` order,
+   with ``seq`` breaking every time tie deterministically;
+2. a :class:`Resource` conserves its slots under arbitrary interleavings
+   of request / release / cancel, never exceeds capacity, and grants
+   contended slots in strict FIFO order;
+3. :class:`AnyOf` fires with the earliest sub-event and :class:`AllOf`
+   fires once the latest fires, with fired sub-events recorded in
+   schedule order.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sim.core import Simulation
+from repro.sim.sanitizer import TraceDigest
+
+# Delays as integer tenths keep arithmetic exact: equal draws mean exactly
+# equal simulated times, so tie-breaking is genuinely exercised.
+delay_lists = st.lists(
+    st.integers(min_value=0, max_value=50).map(lambda n: n / 10.0),
+    min_size=1, max_size=30)
+
+
+# ----------------------------------------------------------------------
+# 1. Heap ordering
+# ----------------------------------------------------------------------
+
+@given(st.lists(delay_lists, min_size=1, max_size=8))
+@settings(max_examples=150, deadline=None)
+def test_pops_are_non_decreasing_in_time_then_seq(schedules):
+    sim = Simulation()
+    trace = TraceDigest(sim, keep_records=True).attach()
+
+    def chain(delays):
+        for delay in delays:
+            yield sim.timeout(delay)
+
+    for delays in schedules:
+        sim.process(chain(delays))
+    sim.run()
+    trace.detach()
+    assert trace.records, "the run must pop at least the init events"
+    for earlier, later in zip(trace.records, trace.records[1:]):
+        assert later.time >= earlier.time, (
+            f"time went backwards: {earlier.format()} then {later.format()}")
+        if later.time == earlier.time:
+            assert later.seq > earlier.seq, (
+                f"tie not broken by seq: {earlier.format()} then "
+                f"{later.format()}")
+
+
+@given(st.lists(delay_lists, min_size=1, max_size=6))
+@settings(max_examples=100, deadline=None)
+def test_same_schedule_same_digest(schedules):
+    def run_once() -> str:
+        sim = Simulation()
+        trace = TraceDigest(sim, keep_records=False).attach()
+
+        def chain(delays):
+            for delay in delays:
+                yield sim.timeout(delay)
+
+        for delays in schedules:
+            sim.process(chain(delays))
+        sim.run()
+        trace.detach()
+        return trace.hexdigest
+
+    assert run_once() == run_once()
+
+
+# ----------------------------------------------------------------------
+# 2. Resource slot conservation
+# ----------------------------------------------------------------------
+
+@st.composite
+def resource_workloads(draw):
+    capacity = draw(st.integers(min_value=1, max_value=4))
+    # Each job: (start delay, hold duration, patience).  A job cancels its
+    # request (releases while still queued) if no slot arrives within its
+    # patience — the timeout-race path release() documents as legal.
+    jobs = draw(st.lists(
+        st.tuples(st.integers(0, 30).map(lambda n: n / 10.0),
+                  st.integers(0, 20).map(lambda n: n / 10.0),
+                  st.one_of(st.none(),
+                            st.integers(0, 15).map(lambda n: n / 10.0))),
+        min_size=1, max_size=25))
+    return capacity, jobs
+
+
+@given(resource_workloads())
+@settings(max_examples=150, deadline=None)
+def test_slots_conserved_under_request_release_cancel(workload):
+    from repro.sim.resources import Resource
+
+    capacity, jobs = workload
+    sim = Simulation()
+    resource = Resource(sim, capacity=capacity, name="pool")
+    held = 0
+    max_held = 0
+    outcomes = []
+
+    def job(start, hold, patience):
+        nonlocal held, max_held
+        yield sim.timeout(start)
+        request = resource.request()
+        if patience is None:
+            yield request
+        else:
+            fired = yield sim.any_of([request, sim.timeout(patience)])
+            if request not in fired:
+                # Gave up waiting: cancel the queued request.
+                resource.release(request)
+                outcomes.append("cancelled")
+                return
+        held += 1
+        max_held = max(max_held, held)
+        assert held <= capacity, "more holders than slots"
+        try:
+            yield sim.timeout(hold)
+        finally:
+            held -= 1
+            resource.release(request)
+        outcomes.append("served")
+
+    for start, hold, patience in jobs:
+        sim.process(job(start, hold, patience))
+    sim.run()
+
+    assert len(outcomes) == len(jobs), "every job must finish one way"
+    assert held == 0
+    assert resource.count == 0, "all slots returned"
+    assert resource.queue_length == 0, "no request left queued"
+    assert max_held <= capacity
+
+
+@given(st.integers(min_value=1, max_value=3),
+       st.integers(min_value=2, max_value=12))
+@settings(max_examples=100, deadline=None)
+def test_contended_grants_are_fifo(capacity, waiters):
+    from repro.sim.resources import Resource
+
+    sim = Simulation()
+    resource = Resource(sim, capacity=capacity)
+    granted = []
+
+    def hog():
+        # Fill every slot so all subsequent requests are contended.
+        requests = [resource.request() for _ in range(capacity)]
+        for request in requests:
+            yield request
+        yield sim.timeout(1.0)
+        for request in requests:
+            resource.release(request)
+
+    def waiter(index):
+        yield sim.timeout(0.5)  # queue strictly after the hog holds all slots
+        request = resource.request()
+        yield request
+        granted.append(index)
+        yield sim.timeout(0.1)
+        resource.release(request)
+
+    sim.process(hog())
+    for index in range(waiters):
+        sim.process(waiter(index))
+    sim.run()
+    assert granted == list(range(waiters)), "grant order must be FIFO"
+
+
+# ----------------------------------------------------------------------
+# 3. AnyOf / AllOf
+# ----------------------------------------------------------------------
+
+@given(delay_lists)
+@settings(max_examples=150, deadline=None)
+def test_any_of_fires_at_earliest_and_all_of_at_latest(delays):
+    sim = Simulation()
+    fired_at = {}
+
+    def wait_any(events):
+        yield sim.any_of(events)
+        fired_at["any"] = sim.now
+
+    def wait_all(events):
+        yield sim.all_of(events)
+        fired_at["all"] = sim.now
+
+    any_events = [sim.timeout(delay) for delay in delays]
+    all_events = [sim.timeout(delay) for delay in delays]
+    sim.process(wait_any(any_events))
+    sim.process(wait_all(all_events))
+    sim.run()
+    assert fired_at["any"] == min(delays)
+    assert fired_at["all"] == max(delays)
+
+
+@given(delay_lists)
+@settings(max_examples=150, deadline=None)
+def test_all_of_records_sub_events_in_schedule_order(delays):
+    sim = Simulation()
+    events = [sim.timeout(delay) for delay in delays]
+    captured = {}
+
+    def wait_all():
+        captured["value"] = yield sim.all_of(events)
+
+    sim.process(wait_all())
+    sim.run()
+    value = captured["value"]
+    assert len(value) == len(events)
+    # Sub-events must be recorded in pop order: by time, ties broken by
+    # creation order (the creation seq is the heap tie-break).
+    indices = [events.index(event) for event in value.events]
+    expected = sorted(range(len(delays)), key=lambda i: (delays[i], i))
+    assert indices == expected
+
+
+@given(delay_lists)
+@settings(max_examples=100, deadline=None)
+def test_any_of_wins_by_earliest_delay_then_creation_order(delays):
+    sim = Simulation()
+    events = [sim.timeout(delay) for delay in delays]
+    captured = {}
+
+    def wait_any():
+        captured["value"] = yield sim.any_of(events)
+
+    sim.process(wait_any())
+    sim.run()
+    value = captured["value"]
+    # Exactly one sub-event fires before AnyOf triggers, and it is the
+    # earliest timeout; the creation seq breaks delay ties.
+    assert len(value) == 1
+    winner = value.events[0]
+    assert winner in value
+    assert winner.delay == min(delays)
+    assert events.index(winner) == delays.index(min(delays))
