@@ -226,6 +226,7 @@ class ClientNode(NodeBase):
             self._commit_waiters[tx_id] = commit_event
             self._nack_waiters[tx_id] = nack_event
             anchor = self.anchor_peer
+            span.annotate(anchor=anchor)
             self.send(anchor, "register_listener", {"tx_id": tx_id})
             self.send(self.orderer, "broadcast", envelope,
                       size=envelope.wire_size())

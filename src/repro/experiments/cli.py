@@ -14,6 +14,8 @@ Usage::
     repro check-determinism --orderer solo --statedb couchdb
     repro perfbench                    # wall-clock benchmarks, all scenarios
     repro perfbench --smoke --check-golden --out BENCH_PR5.json  # CI gate
+    repro trace --summary-out trace_summary.json  # critical-path + queueing
+    repro obs-diff --baseline BENCH_PR5.json --candidate BENCH_NEW.json
 
 (``repro`` and ``fabric-repro`` are the same entry point.)
 """
@@ -38,9 +40,14 @@ EXPERIMENT_IDS = ["tab1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 
 
 def _run_trace(args) -> int:
-    """The ``trace`` subcommand: one observed run + bottleneck report."""
+    """The ``trace`` subcommand: one observed run, bottleneck report,
+    critical-path attribution, and the queueing observatory."""
+    import json
+
     from repro.experiments.report import bottleneck_result
     from repro.experiments.runner import run_traced_point
+    from repro.obs.critical_path import render_summary
+    from repro.obs.queueing import render_queueing_report
 
     point = run_traced_point(
         orderer_kind=args.orderer, policy=args.policy, rate=args.rate,
@@ -51,13 +58,52 @@ def _run_trace(args) -> int:
     result = bottleneck_result(point.report, title=title, top=args.top)
     print(result.render())
     print()
+    summary = point.network.critical_path_report()
+    print(render_summary(summary))
+    print()
+    queueing = point.network.queueing_report()
+    print(render_queueing_report(queueing, top=args.top))
+    print()
     print(f"throughput: {point.throughput:.1f} tx/s committed "
           f"(offered {args.rate:g} tx/s)")
     if args.trace_out:
         point.write_chrome_trace(args.trace_out)
         print(f"chrome trace written to {args.trace_out} "
               f"(open in https://ui.perfetto.dev)")
+    if args.summary_out:
+        scenario = f"{args.orderer}-{args.policy}-{args.rate:g}tps"
+        data = point.network.trace_summary(scenario=scenario,
+                                           phase_metrics=point.metrics)
+        with open(args.summary_out, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+        print(f"trace summary written to {args.summary_out}")
+    if not queueing.little_ok:
+        names = ", ".join(s.name for s in queueing.violations)
+        print(f"trace: Little's-law check FAILED for {names}")
+        return 1
     return 0
+
+
+def _run_obs_diff(args) -> int:
+    """The ``obs-diff`` subcommand: perf-regression gate for CI."""
+    import json
+
+    from repro.obs.regression import diff_files, render_diff
+
+    if not args.baseline:
+        print("obs-diff: --baseline PATH is required", file=sys.stderr)
+        return 2
+    if not args.candidate:
+        print("obs-diff: --candidate PATH is required", file=sys.stderr)
+        return 2
+    result = diff_files(args.baseline, args.candidate,
+                        tolerance=args.tolerance,
+                        wall_tolerance=args.tol_wall)
+    if args.diff_json:
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_diff(result, verbose=args.diff_verbose))
+    return 0 if result.ok else 1
 
 
 def _run_lint(args) -> int:
@@ -223,9 +269,12 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
                         choices=(EXPERIMENT_IDS
                                  + ["all", "trace", "lint",
                                     "check-determinism", "faults",
-                                    "statedb", "perfbench"]),
+                                    "statedb", "perfbench", "obs-diff"]),
                         help="which artifact to regenerate; 'trace' for an "
-                             "observed run with bottleneck attribution; "
+                             "observed run with bottleneck attribution, "
+                             "critical-path extraction, and the queueing "
+                             "observatory; 'obs-diff' for the perf-"
+                             "regression gate between two bench files; "
                              "'lint' for the simlint determinism analyzer; "
                              "'check-determinism' for same-seed double-run "
                              "schedule diffing; 'faults' for the "
@@ -259,6 +308,9 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     trace_group.add_argument("--trace-out", default=None, metavar="PATH",
                              help="write a Chrome trace_event JSON file "
                                   "(view in Perfetto / chrome://tracing)")
+    trace_group.add_argument("--summary-out", default=None, metavar="PATH",
+                             help="write the critical-path + queueing "
+                                  "summary JSON (obs-diff comparable)")
     lint_group = parser.add_argument_group(
         "lint options", "only used with the 'lint' experiment")
     lint_group.add_argument("--path", dest="paths", action="append",
@@ -314,6 +366,26 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     perf_group.add_argument("--update-golden", action="store_true",
                             help="deliberately regenerate the committed "
                                  "golden digests from this run")
+    diff_group = parser.add_argument_group(
+        "obs-diff options", "only used with the 'obs-diff' experiment")
+    diff_group.add_argument("--baseline", default=None, metavar="PATH",
+                            help="baseline BENCH_*.json or trace-summary "
+                                 "file (the accepted reference)")
+    diff_group.add_argument("--candidate", default=None, metavar="PATH",
+                            help="candidate measurement file to gate")
+    diff_group.add_argument("--tolerance", type=float, default=0.05,
+                            help="relative tolerance for deterministic "
+                                 "metrics (default 0.05)")
+    diff_group.add_argument("--tol-wall", type=float, default=None,
+                            metavar="FRAC",
+                            help="also gate wall-clock time at this "
+                                 "relative tolerance (default: report "
+                                 "only; wall time is machine-dependent)")
+    diff_group.add_argument("--diff-json", action="store_true",
+                            help="emit the full diff as JSON")
+    diff_group.add_argument("--diff-verbose", action="store_true",
+                            help="list every compared metric, not just "
+                                 "regressions")
     args = parser.parse_args(argv)
 
     if args.experiment == "lint":
@@ -326,6 +398,8 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         return _run_statedb(args)
     if args.experiment == "perfbench":
         return _run_perfbench(args)
+    if args.experiment == "obs-diff":
+        return _run_obs_diff(args)
     if args.experiment == "trace":
         if args.orderer is None:
             args.orderer = "solo"

@@ -10,6 +10,8 @@ seed, and demand byte-identical schedules and metrics.  This is what
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 
 from repro.common.config import StateDBConfig
 from repro.experiments.runner import make_topology, make_workload
@@ -40,23 +42,42 @@ class PointCheck:
     metrics_identical: bool
     throughput: float
     statedb_kind: str = "leveldb"
+    #: Whether both runs produced bit-identical critical-path summaries
+    #: (the telemetry layer itself must be deterministic, not just the
+    #: schedule underneath it).
+    critical_path_identical: bool = True
 
     @property
     def ok(self) -> bool:
-        return self.report.identical and self.metrics_identical
+        return (self.report.identical and self.metrics_identical
+                and self.critical_path_identical)
 
     def render(self) -> str:
         status = "ok" if self.ok else "FAILED"
+        cp = ("identical" if self.critical_path_identical else "DIVERGED")
         header = (f"[{status}] {self.orderer_kind} / {self.policy} / "
                   f"{self.statedb_kind} @ "
                   f"{self.rate:g} tx/s, seed {self.seed}: "
                   f"{self.throughput:.1f} tx/s committed, metrics "
-                  f"{'identical' if self.metrics_identical else 'DIVERGED'}")
+                  f"{'identical' if self.metrics_identical else 'DIVERGED'}"
+                  f", critical-path summary {cp}")
         return header + "\n" + _indent(self.report.render())
 
 
 def _indent(text: str, prefix: str = "  ") -> str:
     return "\n".join(prefix + line for line in text.splitlines())
+
+
+def critical_path_hash(network: FabricNetwork) -> str:
+    """SHA-256 of the run's critical-path summary (canonical JSON).
+
+    Hashing the *telemetry output* (rather than the schedule) proves the
+    observability layer itself is deterministic: same seed, same spans,
+    same extracted paths, bit-identical attribution.
+    """
+    summary = network.critical_path_report().as_dict()
+    payload = json.dumps(summary, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()
 
 
 def run_digested_point(orderer_kind: str, policy: str = "AND2",
@@ -67,23 +88,28 @@ def run_digested_point(orderer_kind: str, policy: str = "AND2",
                        keep_records: bool = True,
                        statedb: StateDBConfig | None = None,
                        workload_kind: str = "unique"
-                       ) -> tuple[TraceDigest, dict[str, float]]:
+                       ) -> tuple[TraceDigest, dict[str, float], str]:
     """Run one network point with the trace digest attached.
 
-    Returns the digest and the run's windowed metrics as a dict, so
-    double-run checks compare metrics as well as schedules.
+    The run executes with tracing enabled (but without the sampler, which
+    would add its own timeout events), so the schedule digest doubles as
+    proof that the telemetry layer is schedule-neutral — it must match
+    the digests of untraced runs.  Returns the digest, the run's windowed
+    metrics as a dict, and the critical-path summary hash, so double-run
+    checks compare telemetry as well as schedules and metrics.
     """
     topology = make_topology(orderer_kind, policy, peers, statedb=statedb)
     workload = make_workload(rate, duration)
     network = FabricNetwork(topology, workload, seed=seed,
-                            workload_kind=workload_kind)
+                            workload_kind=workload_kind,
+                            observe=True, observe_sampler=False)
     metrics: list[dict[str, float]] = []
 
     def drive() -> None:
         metrics.append(network.run_workload().as_dict())
 
     digest = digest_run(network.sim, drive, keep_records=keep_records)
-    return digest, metrics[0]
+    return digest, metrics[0], critical_path_hash(network)
 
 
 def check_point_determinism(orderer_kind: str, policy: str = "AND2",
@@ -96,13 +122,15 @@ def check_point_determinism(orderer_kind: str, policy: str = "AND2",
                             workload_kind: str = "unique") -> PointCheck:
     """Same-seed double run of one configuration, diffed."""
     metrics_by_run: list[dict[str, float]] = []
+    cp_hashes: list[str] = []
 
     def run_once() -> TraceDigest:
-        digest, metrics = run_digested_point(
+        digest, metrics, cp_hash = run_digested_point(
             orderer_kind, policy=policy, rate=rate, peers=peers,
             duration=duration, seed=seed, keep_records=keep_records,
             statedb=statedb, workload_kind=workload_kind)
         metrics_by_run.append(metrics)
+        cp_hashes.append(cp_hash)
         return digest
 
     report = run_twice_and_diff(run_once, keep_records=keep_records)
@@ -113,4 +141,5 @@ def check_point_determinism(orderer_kind: str, policy: str = "AND2",
         orderer_kind=orderer_kind, policy=policy, rate=rate, seed=seed,
         report=report, metrics_identical=metrics_identical,
         throughput=metrics_by_run[0].get("overall_throughput", 0.0),
-        statedb_kind=statedb.kind if statedb is not None else "leveldb")
+        statedb_kind=statedb.kind if statedb is not None else "leveldb",
+        critical_path_identical=cp_hashes[0] == cp_hashes[1])

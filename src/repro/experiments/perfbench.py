@@ -148,12 +148,16 @@ class PerfResult:
         }
 
 
-def _build_network(scenario: PerfScenario, seed: int) -> FabricNetwork:
+def _build_network(scenario: PerfScenario, seed: int,
+                   observe: bool = False) -> FabricNetwork:
     topology = make_topology(scenario.orderer_kind, scenario.policy,
                              scenario.peers,
                              statedb=scenario.statedb_config())
     workload = make_workload(scenario.rate, scenario.duration)
-    return FabricNetwork(topology, workload, seed=seed)
+    # Observed builds disable the sampler: the tracer and monitors are
+    # schedule-neutral, the sampler's periodic timeouts are not.
+    return FabricNetwork(topology, workload, seed=seed, observe=observe,
+                         observe_sampler=False)
 
 
 def run_scenario(name: str, seed: int = GOLDEN_SEED,
@@ -183,15 +187,17 @@ def run_scenario(name: str, seed: int = GOLDEN_SEED,
 
 
 def digest_scenario(name: str, seed: int = GOLDEN_SEED,
-                    scale: str = "full") -> str:
+                    scale: str = "full", observe: bool = False) -> str:
     """The trace digest of one (untimed) scenario run.
 
     This is the digest-only half of :func:`run_scenario`, exposed so the
     golden-digest tests can check schedules without paying for a second,
-    timed run.
+    timed run.  ``observe=True`` runs with span tracing and resource
+    monitors attached (sampler off): the digest must not change, which is
+    the standing proof that observability is schedule-neutral.
     """
     scenario = SCENARIOS[name].at_scale(scale)
-    network = _build_network(scenario, seed)
+    network = _build_network(scenario, seed, observe=observe)
     digest = TraceDigest(network.sim, keep_records=False).attach()
     try:
         network.run_workload()

@@ -42,6 +42,7 @@ class FabricNetwork:
                  seed: int = 0, costs: CostModel | None = None,
                  workload_kind: str = "unique",
                  observe: bool = False,
+                 observe_sampler: bool = True,
                  sample_interval: float = 0.05,
                  faults: FaultSchedule | None = None) -> None:
         topology.validate()
@@ -58,6 +59,12 @@ class FabricNetwork:
         #: Observability layer (tracer + monitors); opt-in and off by
         #: default so unobserved runs carry zero instrumentation cost.
         self.obs: Observability | None = None
+        #: Whether :meth:`run_workload` starts the periodic sampler.  The
+        #: tracer and monitors are pure observers (zero schedule impact),
+        #: but the sampler is a process whose timeouts ARE kernel events —
+        #: schedule-neutral runs (determinism checks, golden digests)
+        #: disable it and still get tracing + exact lifetime integrals.
+        self._observe_sampler = observe_sampler
         if observe:
             self.obs = Observability(self.context.sim,
                                      sample_interval=sample_interval)
@@ -88,7 +95,8 @@ class FabricNetwork:
                 self.context.sim, self.context.network, faults,
                 resolve_node=self.node_named,
                 resolve_alias=self._resolve_fault_alias,
-                metrics=self.context.metrics)
+                metrics=self.context.metrics,
+                tracer=self.context.tracer)
 
     # ------------------------------------------------------------------
     # Assembly
@@ -250,7 +258,7 @@ class FabricNetwork:
         start_at = self.STABILIZATION
         self.workload.start(at=start_at)
         horizon = start_at + self.workload_config.duration + drain
-        if self.obs is not None:
+        if self.obs is not None and self._observe_sampler:
             self.obs.start_sampler(until=horizon)
         self.context.sim.run(until=horizon)
         if self.obs is not None:
@@ -297,6 +305,36 @@ class FabricNetwork:
         if start is None and end is None:
             start, end = getattr(self, "last_window", (None, None))
         return self.obs.report(start, end)
+
+    def queueing_report(self, tolerance: float | None = None):
+        """Queueing observatory: wait/service stats + Little's-law check."""
+        if self.obs is None:
+            raise ConfigurationError(
+                "queueing_report() needs FabricNetwork(observe=True)")
+        return self.obs.queueing_report(tolerance)
+
+    def critical_path_report(self):
+        """Aggregated critical-path attribution for committed txs."""
+        if self.obs is None:
+            raise ConfigurationError(
+                "critical_path_report() needs FabricNetwork(observe=True)")
+        return self.obs.critical_path_summary(self.context.metrics)
+
+    def trace_summary(self, scenario: str = "trace",
+                      phase_metrics=None) -> dict:
+        """One JSON-ready object tying the run's telemetry together.
+
+        Combines critical-path attribution, the queueing observatory, and
+        (when given) the aggregated phase metrics — the format
+        ``repro trace --summary-out`` writes and ``repro obs-diff`` reads.
+        """
+        summary: dict = {"scenario": scenario}
+        if phase_metrics is not None:
+            summary["throughput_tps"] = phase_metrics.overall_throughput
+            summary["avg_latency_s"] = phase_metrics.overall_latency
+        summary["critical_path"] = self.critical_path_report().as_dict()
+        summary["queueing"] = self.queueing_report().as_dict()
+        return summary
 
     # ------------------------------------------------------------------
     # Introspection helpers (tests, examples)

@@ -18,7 +18,11 @@ that was actually killed.
 
 Every applied action is recorded in the metrics collector's runtime-event
 log (``fault.crash``, ``fault.recover``, ...) so recovery analysis can
-anchor on injection times without a side channel.
+anchor on injection times without a side channel.  When a tracer is
+supplied, each action also emits an instant event, and paired actions
+(crash/recover, partition windows, delay windows) additionally record a
+fault-window span — so throughput dips in a Chrome trace export line up
+visually with the fault that caused them.
 """
 
 from __future__ import annotations
@@ -48,17 +52,25 @@ class FaultInjector:
                  schedule: FaultSchedule,
                  resolve_node: NodeResolver,
                  resolve_alias: AliasResolver | None = None,
-                 metrics: "MetricsCollector | None" = None) -> None:
+                 metrics: "MetricsCollector | None" = None,
+                 tracer: typing.Any = None) -> None:
         self.sim = sim
         self.network = network
         self.schedule = schedule
         self._resolve_node = resolve_node
         self._resolve_alias = resolve_alias
         self._metrics = metrics
+        if tracer is None:
+            from repro.obs.tracer import NULL_TRACER
+            tracer = NULL_TRACER
+        self._tracer = tracer
         #: alias -> concrete node name bound by the most recent crash.
         self._alias_bindings: dict[str, str] = {}
         #: (source, destination) -> original latency, saved by delay_start.
         self._saved_latencies: dict[tuple[str, str], float] = {}
+        #: Open fault windows: (kind, target label) -> start time; closed
+        #: into a retro-recorded span when the matching end action fires.
+        self._open_windows: dict[tuple[str, str], float] = {}
         #: (time, kind, resolved target description) for every applied action.
         self.injected: list[tuple[float, str, str]] = []
         self._started = False
@@ -165,7 +177,34 @@ class FaultInjector:
     # Reporting
     # ------------------------------------------------------------------
 
+    #: window-opening action kind -> window key kind.
+    _WINDOW_STARTS = {"crash": "crash", "partition_start": "partition",
+                      "delay_start": "delay"}
+    #: window-closing action kind -> (window key kind, span name).
+    _WINDOW_ENDS = {"recover": ("crash", "fault.down"),
+                    "partition_end": ("partition", "fault.partition"),
+                    "delay_end": ("delay", "fault.delay")}
+
     def _note(self, kind: str, target: str) -> None:
         self.injected.append((self.sim.now, kind, target))
         if self._metrics is not None:
             self._metrics.runtime_event(f"fault.{kind}", target)
+        tracer = self._tracer
+        if not tracer:
+            return
+        # Node-scoped faults land on the node's trace row; link/partition
+        # faults on the global row (their targets are not single nodes).
+        node = target if kind in ("crash", "recover") else ""
+        tracer.instant(f"fault.{kind}", category="fault", node=node,
+                       target=target)
+        window_kind = self._WINDOW_STARTS.get(kind)
+        if window_kind is not None:
+            self._open_windows[(window_kind, target)] = self.sim.now
+            return
+        window = self._WINDOW_ENDS.get(kind)
+        if window is not None:
+            started = self._open_windows.pop((window[0], target), None)
+            if started is not None:
+                tracer.record_complete(
+                    window[1], category="fault", node=node,
+                    start=started, end=self.sim.now, target=target)

@@ -10,14 +10,40 @@ The subsystem has three cooperating parts:
   checkpointed by a sampler process;
 - :mod:`repro.obs.report` — :func:`bottleneck_report`, ranking resources
   by utilization and attributing the saturated phase directly from
-  measurements (the paper's §V analysis as a feature).
+  measurements (the paper's §V analysis as a feature);
+- :mod:`repro.obs.critical_path` — per-transaction causal critical-path
+  extraction and aggregated per-phase latency attribution;
+- :mod:`repro.obs.queueing` — the queueing observatory: per-resource
+  wait/service distributions with a Little's-law consistency check;
+- :mod:`repro.obs.regression` — the perf-regression gate behind
+  ``repro obs-diff``.
 
 Tracing is opt-in and default-off: ``NetworkContext.tracer`` is the no-op
 :data:`NULL_TRACER` unless an :class:`Observability` bundle installs a
 real one, so unobserved benchmark runs behave identically.
 """
 
+from repro.obs.critical_path import (
+    CriticalPathSummary,
+    PathSegment,
+    TxCriticalPath,
+    extract_critical_paths,
+    summarize_critical_paths,
+    tx_timeline,
+)
 from repro.obs.observe import Observability
+from repro.obs.queueing import (
+    QueueingReport,
+    ResourceQueueStats,
+    queueing_report,
+    resource_stats,
+)
+from repro.obs.regression import (
+    DiffResult,
+    MetricDelta,
+    compare_measurements,
+    diff_files,
+)
 from repro.obs.report import (
     SATURATION_THRESHOLD,
     BottleneckReport,
@@ -40,16 +66,30 @@ __all__ = [
     "SATURATION_THRESHOLD",
     "BottleneckReport",
     "Checkpoint",
+    "CriticalPathSummary",
+    "DiffResult",
+    "MetricDelta",
     "NullTracer",
     "Observability",
+    "PathSegment",
+    "QueueingReport",
     "ResourceMonitor",
+    "ResourceQueueStats",
     "ResourceUsage",
     "Span",
     "SpanStats",
     "Tracer",
+    "TxCriticalPath",
     "UtilizationSampler",
     "bottleneck_report",
+    "compare_measurements",
+    "diff_files",
+    "extract_critical_paths",
+    "queueing_report",
+    "resource_stats",
     "span_statistics",
+    "summarize_critical_paths",
+    "tx_timeline",
     "watch_resource",
     "watch_store",
 ]

@@ -1,0 +1,364 @@
+"""Per-transaction causal critical paths over recorded spans.
+
+A transaction's end-to-end latency is determined by one *chain* of
+intervals: the endorsement that finished last, the broadcast hop, the
+block cut that included it, the validator pipeline on its anchor peer,
+and the state-database commit — plus the transit/queueing gaps between
+them.  This module reconstructs that chain per transaction from the
+:class:`~repro.obs.tracer.Tracer`'s spans and the
+:class:`~repro.metrics.collector.MetricsCollector`'s lifecycle records,
+then aggregates *where the e2e seconds actually went* per phase and per
+span kind — the attribution the utilization-style bottleneck report
+cannot give (a saturated resource off the critical path does not cost
+latency; a half-idle one on it does).
+
+Extraction is a backward greedy walk from the commit timestamp: at each
+point pick the candidate span with the latest end not after the current
+position, emit it as a path segment, and jump to its start.  Intervals
+no candidate covers become ``(transit)`` segments — network hops,
+delivery fan-out, and queueing that is not inside any recorded span —
+attributed to the phase of the segment *downstream* of the gap (the
+consumer the transaction was travelling towards).
+
+Candidate spans per transaction:
+
+- its own per-tx spans (``endorse``, ``order.broadcast``,
+  ``validate.vscc``) on any node;
+- shared ordering spans (``order.block``, consensus backend spans) on
+  any node — blocks are shared infrastructure;
+- shared validate/statedb spans on the transaction's *anchor peer* (the
+  peer whose commit notification defines the client's commit time).
+
+Wrapper spans that enclose entire sub-pipelines (``client.execute``,
+``client.order_wait``, ``validate.block``) are excluded: they would
+swallow the path with a single uninformative segment.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.metrics.collector import MetricsCollector
+    from repro.obs.tracer import Span, Tracer
+
+#: Spans that enclose whole sub-pipelines; never path segments themselves.
+WRAPPER_SPANS = frozenset({"client.execute", "client.order_wait",
+                           "validate.block"})
+
+#: Label for un-instrumented intervals on the path (network, queueing).
+TRANSIT = "(transit)"
+
+#: Phase charged for the tail gap between the anchor peer's commit and
+#: the client learning of it (the notify hop is validate-phase latency
+#: under the paper's Definition 4.2 decomposition).
+_TAIL_PHASE = "validate"
+
+
+@dataclasses.dataclass
+class PathSegment:
+    """One interval of a transaction's critical path."""
+
+    name: str            # span name, or ``(transit)`` for gaps
+    phase: str           # execute | order | validate | statedb
+    node: str            # "" for transit segments
+    start: float
+    end: float
+    wait: float = 0.0    # seconds of the segment spent queued
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def service(self) -> float:
+        return max(self.duration - self.wait, 0.0)
+
+
+@dataclasses.dataclass
+class TxCriticalPath:
+    """The reconstructed critical path of one committed transaction."""
+
+    tx_id: str
+    submitted: float
+    committed: float
+    anchor: str
+    #: Segments in reverse time order (commit backwards to submission).
+    segments: list[PathSegment]
+
+    @property
+    def e2e(self) -> float:
+        return self.committed - self.submitted
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of e2e covered by recorded spans (rest is transit)."""
+        if self.e2e <= 0:
+            return 1.0
+        covered = sum(s.duration for s in self.segments
+                      if s.name != TRANSIT)
+        return covered / self.e2e
+
+
+class _SpanIndex:
+    """One candidate group: spans sorted by end, bisectable."""
+
+    __slots__ = ("spans", "ends")
+
+    def __init__(self, spans: list["Span"]) -> None:
+        self.spans = sorted(spans, key=lambda s: (s.end, s.start))
+        self.ends = [s.end for s in self.spans]
+
+    def latest_before(self, when: float) -> "Span | None":
+        """The span with the greatest end <= when whose start < when."""
+        index = bisect.bisect_right(self.ends, when) - 1
+        while index >= 0:
+            span = self.spans[index]
+            if span.start < when:
+                return span
+            index -= 1
+        return None
+
+
+def _phase_of(span: "Span") -> str:
+    if span.category:
+        return span.category
+    return span.name.split(".", 1)[0]
+
+
+def _anchor_map(tracer: "Tracer") -> dict[str, str]:
+    """tx_id -> anchor peer, from client.order_wait span annotations."""
+    anchors: dict[str, str] = {}
+    for span in tracer.spans:
+        if span.name == "client.order_wait" and span.tx_id and span.args:
+            anchor = span.args.get("anchor")
+            if anchor:
+                anchors[span.tx_id] = anchor  # last attempt wins
+    return anchors
+
+
+def extract_critical_paths(
+        tracer: "Tracer", metrics: "MetricsCollector",
+        limit: int | None = None) -> list[TxCriticalPath]:
+    """Reconstruct the critical path of every committed transaction.
+
+    Transactions are processed in commit order; ``limit`` keeps only the
+    first N (for spot-checking timelines without the full sweep).
+    """
+    anchors = _anchor_map(tracer)
+
+    own: dict[str, list[Span]] = {}
+    shared_order: list[Span] = []
+    shared_validate: dict[str, list[Span]] = {}
+    for span in tracer.spans:
+        if (span.start is None or span.end is None
+                or span.name in WRAPPER_SPANS):
+            continue
+        phase = _phase_of(span)
+        if span.tx_id:
+            own.setdefault(span.tx_id, []).append(span)
+        elif phase == "order":
+            shared_order.append(span)
+        elif phase in ("validate", "statedb"):
+            shared_validate.setdefault(span.node, []).append(span)
+
+    order_index = _SpanIndex(shared_order)
+    validate_indexes = {node: _SpanIndex(spans)
+                        for node, spans in shared_validate.items()}
+    empty = _SpanIndex([])
+
+    committed = sorted(
+        (record for record in metrics.records.values()
+         if record.committed is not None and record.submitted is not None),
+        key=lambda record: (record.committed, record.tx_id))
+    if limit is not None:
+        committed = committed[:limit]
+
+    paths: list[TxCriticalPath] = []
+    for record in committed:
+        anchor = anchors.get(record.tx_id, "")
+        groups = [
+            _SpanIndex(own.get(record.tx_id, [])),
+            order_index,
+            validate_indexes.get(anchor, empty),
+        ]
+        paths.append(_walk(record.tx_id, record.submitted, record.committed,
+                           anchor, groups))
+    return paths
+
+
+def _walk(tx_id: str, submitted: float, committed: float, anchor: str,
+          groups: list[_SpanIndex]) -> TxCriticalPath:
+    segments: list[PathSegment] = []
+    current = committed
+    downstream_phase = _TAIL_PHASE
+    while current > submitted:
+        best: Span | None = None
+        for group in groups:
+            span = group.latest_before(current)
+            if span is not None and (best is None or span.end > best.end):
+                best = span
+        if best is None or best.end <= submitted:
+            # Nothing recorded earlier: the head gap back to submission.
+            segments.append(PathSegment(
+                name=TRANSIT, phase=downstream_phase, node="",
+                start=submitted, end=current))
+            break
+        if best.end < current:
+            # Un-instrumented interval between the span and the position
+            # we walked back from: network / delivery / queueing time on
+            # the way to the downstream consumer.
+            segments.append(PathSegment(
+                name=TRANSIT, phase=downstream_phase, node="",
+                start=best.end, end=current))
+        start = max(best.start, submitted)
+        duration = best.end - start
+        wait = min(best.wait or 0.0, duration)
+        segments.append(PathSegment(
+            name=best.name, phase=_phase_of(best), node=best.node,
+            start=start, end=best.end, wait=wait))
+        downstream_phase = _phase_of(best)
+        current = start
+    return TxCriticalPath(tx_id=tx_id, submitted=submitted,
+                          committed=committed, anchor=anchor,
+                          segments=segments)
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class AttributionEntry:
+    """Aggregated critical-path seconds for one phase or span kind."""
+
+    seconds: float = 0.0
+    wait: float = 0.0
+    count: int = 0
+
+    @property
+    def service(self) -> float:
+        return max(self.seconds - self.wait, 0.0)
+
+
+@dataclasses.dataclass
+class CriticalPathSummary:
+    """Where the end-to-end seconds of all committed transactions went."""
+
+    transactions: int
+    total_e2e: float
+    mean_e2e: float
+    mean_coverage: float
+    phases: dict[str, AttributionEntry]
+    segments: dict[str, AttributionEntry]
+
+    @property
+    def dominant_phase(self) -> str:
+        if not self.phases:
+            return ""
+        return max(self.phases.items(), key=lambda kv: kv[1].seconds)[0]
+
+    def phase_share(self, phase: str) -> float:
+        if self.total_e2e <= 0:
+            return 0.0
+        entry = self.phases.get(phase)
+        return entry.seconds / self.total_e2e if entry else 0.0
+
+    def as_dict(self) -> dict[str, typing.Any]:
+        """JSON-ready form; key-sorted by the caller when hashed."""
+        def table(entries: dict[str, AttributionEntry]) -> dict:
+            return {
+                name: {
+                    "seconds": round(entry.seconds, 9),
+                    "wait_s": round(entry.wait, 9),
+                    "service_s": round(entry.service, 9),
+                    "count": entry.count,
+                    "share": (round(entry.seconds / self.total_e2e, 6)
+                              if self.total_e2e > 0 else 0.0),
+                }
+                for name, entry in sorted(entries.items())
+            }
+
+        return {
+            "transactions": self.transactions,
+            "total_e2e_s": round(self.total_e2e, 9),
+            "mean_e2e_s": round(self.mean_e2e, 9),
+            "mean_coverage": round(self.mean_coverage, 6),
+            "dominant_phase": self.dominant_phase,
+            "phases": table(self.phases),
+            "segments": table(self.segments),
+        }
+
+
+def summarize_critical_paths(
+        paths: list[TxCriticalPath]) -> CriticalPathSummary:
+    """Aggregate per-phase / per-segment critical-path attribution."""
+    phases: dict[str, AttributionEntry] = {}
+    segments: dict[str, AttributionEntry] = {}
+    total_e2e = 0.0
+    coverage = 0.0
+    for path in paths:
+        total_e2e += path.e2e
+        coverage += path.coverage
+        for segment in path.segments:
+            for table, key in ((phases, segment.phase),
+                               (segments, segment.name)):
+                entry = table.get(key)
+                if entry is None:
+                    entry = table[key] = AttributionEntry()
+                entry.seconds += segment.duration
+                entry.wait += segment.wait
+                entry.count += 1
+    n = len(paths)
+    return CriticalPathSummary(
+        transactions=n,
+        total_e2e=total_e2e,
+        mean_e2e=total_e2e / n if n else 0.0,
+        mean_coverage=coverage / n if n else 0.0,
+        phases=phases,
+        segments=segments,
+    )
+
+
+def tx_timeline(tracer: "Tracer", tx_id: str) -> list["Span"]:
+    """All recorded spans of one transaction, in start order.
+
+    The raw causal timeline (pre critical-path reduction): every hop the
+    transaction touched, with per-span ``wait`` and parent links.
+    """
+    spans = [span for span in tracer.spans
+             if span.tx_id == tx_id and span.start is not None]
+    spans.sort(key=lambda s: (s.start, s.end if s.end is not None else s.start))
+    return spans
+
+
+def render_summary(summary: CriticalPathSummary) -> str:
+    """Human-readable attribution table for CLI output."""
+    lines = [
+        f"critical path over {summary.transactions} committed txs  "
+        f"(mean e2e {summary.mean_e2e * 1000:.1f} ms, "
+        f"span coverage {summary.mean_coverage * 100:.1f}%)",
+        f"dominant phase: {summary.dominant_phase}",
+        "",
+        f"{'phase':<12} {'share':>7} {'seconds':>10} {'wait':>10} "
+        f"{'service':>10}",
+    ]
+    for name, entry in sorted(summary.phases.items(),
+                              key=lambda kv: -kv[1].seconds):
+        lines.append(
+            f"{name:<12} {summary.phase_share(name) * 100:>6.1f}% "
+            f"{entry.seconds:>10.3f} {entry.wait:>10.3f} "
+            f"{entry.service:>10.3f}")
+    lines.append("")
+    lines.append(f"{'segment':<22} {'share':>7} {'seconds':>10} "
+                 f"{'count':>8} {'mean ms':>9}")
+    for name, entry in sorted(summary.segments.items(),
+                              key=lambda kv: -kv[1].seconds):
+        share = (entry.seconds / summary.total_e2e * 100
+                 if summary.total_e2e > 0 else 0.0)
+        mean_ms = (entry.seconds / entry.count * 1000 if entry.count else 0.0)
+        lines.append(f"{name:<22} {share:>6.1f}% {entry.seconds:>10.3f} "
+                     f"{entry.count:>8d} {mean_ms:>9.3f}")
+    return "\n".join(lines)

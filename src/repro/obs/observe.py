@@ -47,6 +47,7 @@ class Observability:
                        phase: str = "") -> ResourceMonitor:
         """Monitor a server pool; returns the attached monitor."""
         monitor = watch_resource(resource, name, kind=kind, phase=phase)
+        monitor.tracer = self.tracer
         self.monitors[monitor.name] = monitor
         return monitor
 
@@ -54,6 +55,7 @@ class Observability:
                     phase: str = "") -> ResourceMonitor:
         """Monitor a queue's depth; returns the attached monitor."""
         monitor = watch_store(store, name, phase=phase)
+        monitor.tracer = self.tracer
         self.monitors[monitor.name] = monitor
         return monitor
 
@@ -80,6 +82,24 @@ class Observability:
                end: float | None = None) -> BottleneckReport:
         """Bottleneck attribution over ``[start, end)`` (default: all)."""
         return bottleneck_report(self.tracer, self.monitors, start, end)
+
+    def queueing_report(self, tolerance: float | None = None):
+        """Per-resource wait/service stats with the Little's-law check."""
+        from repro.obs.queueing import LITTLE_TOLERANCE, queueing_report
+
+        return queueing_report(
+            self.monitors,
+            tolerance=LITTLE_TOLERANCE if tolerance is None else tolerance)
+
+    def critical_path_summary(self, metrics):
+        """Aggregated critical-path attribution for committed txs."""
+        from repro.obs.critical_path import (
+            extract_critical_paths,
+            summarize_critical_paths,
+        )
+
+        return summarize_critical_paths(
+            extract_critical_paths(self.tracer, metrics))
 
     def counter_events(self) -> list[dict]:
         """Chrome counter events for every monitor's busy-server series."""

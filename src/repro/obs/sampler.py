@@ -30,13 +30,22 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 @dataclasses.dataclass
 class Checkpoint:
-    """One sampler snapshot of a monitor's running integrals."""
+    """One sampler snapshot of a monitor's running integrals.
+
+    The count/total fields (grants, completions, wait and service sums)
+    were appended for the queueing observatory; they default to zero so
+    hand-built checkpoints in older tests keep constructing.
+    """
 
     time: float
     busy_integral: float
     queue_integral: float
     busy: int
     queue: int
+    grants: int = 0
+    completions: int = 0
+    wait_total: float = 0.0
+    service_total: float = 0.0
 
 
 class ResourceMonitor:
@@ -55,7 +64,16 @@ class ResourceMonitor:
         self.kind = kind
         self.phase = phase
         self.waits = StreamingHistogram()
+        #: Per-request service times (grant -> release), fed by the kernel.
+        self.services = StreamingHistogram()
         self.grants = 0
+        #: Queued requests withdrawn before being granted (timeout races);
+        #: their queueing time is in the queue integral but never reaches
+        #: the wait histogram — the Little's-law check reports them.
+        self.cancels = 0
+        #: Span tracer the monitor reports queue waits to (see
+        #: :meth:`note_wait`); wired by the observability layer.
+        self.tracer: typing.Any = None
         self.max_queue = 0
         self._busy = 0
         self._queue = 0
@@ -91,6 +109,25 @@ class ResourceMonitor:
         self.grants += 1
         self.waits.add(wait)
 
+    def on_release(self, service: float) -> None:
+        """Called when a granted slot is returned after ``service`` secs."""
+        self.services.add(service)
+
+    def on_cancel(self) -> None:
+        """Called when a queued request is withdrawn before its grant."""
+        self.cancels += 1
+
+    def note_wait(self, wait: float) -> None:
+        """Report a measured queue wait to the attached tracer (if any).
+
+        The tracer attaches it to the innermost open span of the active
+        process, which is the caller that just waited — this is how spans
+        get their wait populated automatically on monitored resources.
+        """
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.attach_wait(wait)
+
     # ------------------------------------------------------------------
     # Sampling and windowed statistics
     # ------------------------------------------------------------------
@@ -101,7 +138,11 @@ class ResourceMonitor:
         point = Checkpoint(time=self.sim.now,
                            busy_integral=self._busy_integral,
                            queue_integral=self._queue_integral,
-                           busy=self._busy, queue=self._queue)
+                           busy=self._busy, queue=self._queue,
+                           grants=self.grants,
+                           completions=self.services.count,
+                           wait_total=self.waits.total,
+                           service_total=self.services.total)
         self.checkpoints.append(point)
         self._checkpoint_times.append(point.time)
         return point
@@ -195,6 +236,20 @@ class ResourceMonitor:
                     busy = ((point.busy_integral - previous.busy_integral)
                             / elapsed)
                     series.append((point.time, busy))
+            previous = point
+        return series
+
+    def queue_series(self) -> list[tuple[float, float]]:
+        """(time, mean queue depth) per checkpoint interval."""
+        series: list[tuple[float, float]] = []
+        previous: Checkpoint | None = None
+        for point in self.checkpoints:
+            if previous is not None:
+                elapsed = point.time - previous.time
+                if elapsed > 0:
+                    depth = ((point.queue_integral - previous.queue_integral)
+                             / elapsed)
+                    series.append((point.time, depth))
             previous = point
         return series
 

@@ -138,6 +138,18 @@ class NullTracer:
                 **values: float) -> None:
         return None
 
+    def attach_wait(self, seconds: float) -> None:
+        return None
+
+    def block_cut(self, channel: str, number: int,
+                  tx_ids: list[str]) -> None:
+        return None
+
+    def record_complete(self, name: str, category: str = "", node: str = "",
+                        tx_id: str = "", start: float = 0.0, end: float = 0.0,
+                        **args: typing.Any) -> None:
+        return None
+
 
 NULL_TRACER = NullTracer()
 
@@ -152,6 +164,10 @@ class Tracer:
         self.spans: list[Span] = []
         self.instants: list[tuple[float, str, str, str, dict | None]] = []
         self.counters: list[tuple[float, str, str, dict[str, float]]] = []
+        #: Block composition: (channel, number) -> tx_ids, recorded by the
+        #: ordering service when it cuts a block.  Critical-path extraction
+        #: uses it to tie a transaction to its block's ordering spans.
+        self.blocks: dict[tuple[str, int], list[str]] = {}
         # Open-span stack per simulation process (id -> stack); keyed by id
         # because Process objects are not hashable by value and stacks must
         # not keep dead processes alive once their spans close.
@@ -179,6 +195,42 @@ class Tracer:
                 **values: float) -> None:
         """Record a named counter sample (rendered as a chart track)."""
         self.counters.append((self.sim.now, name, node, dict(values)))
+
+    def attach_wait(self, seconds: float) -> None:
+        """Add queue-wait seconds to the active process's innermost span.
+
+        Called by :meth:`~repro.obs.sampler.ResourceMonitor.note_wait` when
+        a monitored resource grants a contended slot: the waiter resumes,
+        and whatever span it has open absorbs the measured wait.  Waits
+        accumulate, so a span covering several acquisitions reports their
+        sum.  No open span -> the wait is only in the monitor's histogram.
+        """
+        stack = self._stacks.get(self._stack_key())
+        if stack:
+            span = stack[-1]
+            span.wait = (span.wait or 0.0) + seconds
+
+    def block_cut(self, channel: str, number: int,
+                  tx_ids: list[str]) -> None:
+        """Record which transactions a freshly cut block carries.
+
+        Idempotent per (channel, number): with multi-OSN orderers every
+        node reports the same cut, and only the first wins.
+        """
+        self.blocks.setdefault((channel, number), list(tx_ids))
+
+    def record_complete(self, name: str, category: str = "", node: str = "",
+                        tx_id: str = "", start: float = 0.0, end: float = 0.0,
+                        **args: typing.Any) -> None:
+        """Record an already-finished span without touching the stacks.
+
+        For intervals reconstructed after the fact (fault windows, external
+        timelines) where no process held the span open.
+        """
+        span = Span(self, name, category, node, tx_id, args or None)
+        span.start = start
+        span.end = end
+        self.spans.append(span)
 
     def _stack_key(self) -> int:
         process = self.sim.active_process

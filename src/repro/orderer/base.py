@@ -222,6 +222,9 @@ class OrderingServiceNode(NodeBase):
                 block.header_bytes())
             block.metadata.cut_at = self.sim.now
             chain.blocks_cut += 1
+            if self.tracer:
+                self.tracer.block_cut(chain.channel, block.number,
+                                      [e.tx_id for e in batch])
             self._record_cut(block)
             self._deliver_block(chain, block)
             self._ack_block(block)

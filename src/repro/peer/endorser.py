@@ -51,10 +51,9 @@ class Endorser:
         peer = self._peer
         with peer.tracer.span("endorse", category="execute", node=peer.name,
                               tx_id=proposal.tx_id) as span:
-            queued_at = peer.sim.now
-            request = self._slots.request()
-            yield request
-            span.set_wait(peer.sim.now - queued_at)
+            # On a monitored pool acquire() reports the measured queue wait
+            # to the tracer, which lands on this span automatically.
+            request = yield from self._slots.acquire()
             try:
                 # CPU: checks 1-4, chaincode execution, ESCC signing.
                 yield from peer.cpu.use(peer.costs.endorse_cpu)

@@ -272,12 +272,10 @@ class BlockValidator:
                   flags: list[ValidationCode | None], index: int):
         peer = self._peer
         with peer.tracer.span("validate.vscc", category="validate",
-                              node=peer.name,
-                              tx_id=envelope.tx_id) as span:
-            queued_at = peer.sim.now
-            request = self._workers.request()
-            yield request
-            span.set_wait(peer.sim.now - queued_at)
+                              node=peer.name, tx_id=envelope.tx_id):
+            # On a monitored pool acquire() reports the measured queue wait
+            # to the tracer, which lands on this span automatically.
+            request = yield from self._workers.acquire()
             try:
                 cost = peer.costs.vscc_tx_cpu(len(envelope.endorsements))
                 yield from peer.cpu.use(cost)

@@ -21,7 +21,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class Request(Event):
     """A pending or granted claim on a :class:`Resource` slot."""
 
-    __slots__ = ("resource", "queued_at")
+    __slots__ = ("resource", "queued_at", "granted_at")
 
     def __init__(self, resource: "Resource") -> None:
         # Event.__init__ inlined: one Request per resource acquisition
@@ -34,6 +34,9 @@ class Request(Event):
         self.resource = resource
         #: Simulated time the request entered the wait queue (observability).
         self.queued_at: float | None = None
+        #: Simulated time the slot was granted; populated only while the
+        #: resource is monitored (it feeds the service-time histogram).
+        self.granted_at: float | None = None
 
 
 class Resource:
@@ -91,6 +94,7 @@ class Resource:
             heappush(sim._heap, (sim._now, sim._seq, request))
             sim._seq += 1
             if self.monitor is not None:
+                request.granted_at = sim._now
                 self.monitor.on_grant(0.0)
                 self.monitor.on_state(len(users), len(self._queue))
         else:
@@ -104,6 +108,9 @@ class Resource:
         """Return a previously granted slot and wake the next waiter."""
         if request in self._users:
             self._users.remove(request)
+            if (self.monitor is not None
+                    and request.granted_at is not None):
+                self.monitor.on_release(self.sim.now - request.granted_at)
             self._grant_next()
         else:
             # Cancelling a queued request is legal (e.g. on timeout races).
@@ -113,6 +120,8 @@ class Resource:
                 raise RuntimeError(
                     "release() of a request that holds no slot and is "
                     "not queued") from None
+            if self.monitor is not None:
+                self.monitor.on_cancel()
         if self.monitor is not None:
             self.monitor.on_state(len(self._users), len(self._queue))
 
@@ -138,6 +147,7 @@ class Resource:
             request._value = None  # triggered; it is never waited on
             users.add(request)
             if self.monitor is not None:
+                request.granted_at = self.sim.now
                 self.monitor.on_grant(0.0)
                 self.monitor.on_state(len(users), len(self._queue))
             try:
@@ -145,12 +155,28 @@ class Resource:
             finally:
                 self.release(request)
             return
-        request = self.request()
-        yield request
+        request = yield from self.acquire()
         try:
             yield self.sim.timeout(duration)
         finally:
             self.release(request)
+
+    def acquire(self) -> typing.Generator[Event, typing.Any, Request]:
+        """Sub-generator: claim a slot; returns the granted :class:`Request`.
+
+        Equivalent to ``request()`` + ``yield`` (same events, same order),
+        but on a *monitored* resource the measured queue wait is reported
+        to the tracer automatically, which attaches it to the caller's
+        innermost open span — call sites no longer compute it by hand.
+        """
+        request = self.request()
+        yield request
+        monitor = self.monitor
+        if monitor is not None:
+            wait = (self.sim.now - request.queued_at
+                    if request.queued_at is not None else 0.0)
+            monitor.note_wait(wait)
+        return request
 
     def _grant_next(self) -> None:
         if self._queue and len(self._users) < self.capacity:
@@ -162,7 +188,8 @@ class Resource:
             heappush(sim._heap, (sim._now, sim._seq, request))
             sim._seq += 1
             if self.monitor is not None:
-                wait = (self.sim.now - request.queued_at
+                request.granted_at = sim._now
+                wait = (sim._now - request.queued_at
                         if request.queued_at is not None else 0.0)
                 self.monitor.on_grant(wait)
 

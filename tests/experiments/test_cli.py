@@ -73,3 +73,65 @@ def test_check_determinism_subcommand_single_orderer(capsys):
     output = capsys.readouterr().out
     assert "DETERMINISTIC" in output
     assert "reproducible" in output
+
+
+def test_trace_summary_out_writes_obs_diff_comparable_json(tmp_path, capsys):
+    import json
+
+    summary_path = tmp_path / "summary.json"
+    assert main(["trace", "--rate", "40", "--duration", "3",
+                 "--summary-out", str(summary_path)]) == 0
+    output = capsys.readouterr().out
+    assert "critical path over" in output
+    assert "dominant phase:" in output
+    assert "Little's-law" in output
+    payload = json.loads(summary_path.read_text())
+    assert payload["scenario"] == "solo-AND5-40tps"
+    assert payload["throughput_tps"] > 0
+    assert payload["critical_path"]["transactions"] > 0
+    assert payload["critical_path"]["dominant_phase"]
+    assert payload["queueing"]["little_ok"] is True
+
+
+def test_obs_diff_passes_against_identical_baseline(tmp_path, capsys):
+    import json
+
+    bench = {"solo": {"sim_tps": 100.0, "events": 1000, "scale": "smoke"}}
+    base = tmp_path / "base.json"
+    base.write_text(json.dumps(bench), encoding="utf-8")
+    assert main(["obs-diff", "--baseline", str(base),
+                 "--candidate", str(base)]) == 0
+    assert "no regressions" in capsys.readouterr().out
+
+
+def test_obs_diff_fails_on_degraded_candidate(tmp_path, capsys):
+    import json
+
+    base = tmp_path / "base.json"
+    cand = tmp_path / "cand.json"
+    base.write_text(json.dumps(
+        {"solo": {"sim_tps": 100.0, "events": 1000}}), encoding="utf-8")
+    cand.write_text(json.dumps(
+        {"solo": {"sim_tps": 50.0, "events": 1000}}), encoding="utf-8")
+    assert main(["obs-diff", "--baseline", str(base),
+                 "--candidate", str(cand)]) == 1
+    assert "obs-diff: FAILED" in capsys.readouterr().out
+
+
+def test_obs_diff_json_output(tmp_path, capsys):
+    import json
+
+    base = tmp_path / "base.json"
+    base.write_text(json.dumps(
+        {"solo": {"sim_tps": 100.0}}), encoding="utf-8")
+    assert main(["obs-diff", "--baseline", str(base),
+                 "--candidate", str(base), "--diff-json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+
+
+def test_obs_diff_requires_both_paths(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    base.write_text("{}", encoding="utf-8")
+    assert main(["obs-diff"]) == 2
+    assert main(["obs-diff", "--baseline", str(base)]) == 2

@@ -66,3 +66,23 @@ def test_same_seed_same_digest() -> None:
     first = perfbench.digest_scenario(name, scale="smoke")
     second = perfbench.digest_scenario(name, scale="smoke")
     assert first == second
+
+
+@pytest.mark.parametrize("name", [perfbench.REFERENCE_SCENARIO,
+                                  "raft-and-leveldb"])
+def test_tracing_enabled_digest_matches_golden(name: str) -> None:
+    """Observability is schedule-neutral: tracing must not move the golden.
+
+    Runs the scenario with the tracer and resource monitors attached
+    (sampler off — its periodic timeouts are real kernel events) and
+    demands the bit-identical committed digest.  If this fails, some
+    instrumentation path scheduled an event, consumed randomness, or
+    reordered the heap.
+    """
+    digest = perfbench.digest_scenario(name, scale="smoke", observe=True)
+    goldens = perfbench.load_goldens()
+    key = perfbench.golden_key(name, "smoke")
+    assert key in goldens
+    assert digest == goldens[key], (
+        f"tracing-enabled digest for {key} diverged from the golden: the "
+        f"observability layer perturbed the schedule")

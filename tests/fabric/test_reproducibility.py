@@ -40,18 +40,20 @@ def test_couchdb_backend_double_run_is_identical():
 
 
 def test_different_seed_changes_the_digest():
-    digest_a, _ = run_digested_point(
+    digest_a, _, cp_a = run_digested_point(
         "solo", policy="AND2", rate=40.0, peers=3, duration=2.0, seed=1,
         keep_records=False)
-    digest_b, _ = run_digested_point(
+    digest_b, _, cp_b = run_digested_point(
         "solo", policy="AND2", rate=40.0, peers=3, duration=2.0, seed=2,
         keep_records=False)
     assert digest_a.hexdigest != digest_b.hexdigest
+    assert cp_a != cp_b
 
 
 def test_digest_covers_real_traffic():
-    digest, metrics = run_digested_point(
+    digest, metrics, cp_hash = run_digested_point(
         "solo", policy="AND2", rate=40.0, peers=3, duration=2.0, seed=1,
         keep_records=False)
     assert digest.events_recorded > 1000
     assert metrics["overall_throughput"] > 0
+    assert len(cp_hash) == 64  # a real sha256 over a non-empty summary

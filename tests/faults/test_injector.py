@@ -127,3 +127,89 @@ def test_start_is_idempotent():
     injector.start()
     context.sim.run(until=2.0)
     assert injector.injected == [(1.0, "crash", "a")]
+
+
+def make_traced_injector(context, nodes, schedule):
+    from repro.obs.tracer import Tracer
+
+    tracer = Tracer(context.sim)
+    injector = FaultInjector(context.sim, context.network, schedule,
+                             resolve_node=nodes.__getitem__,
+                             metrics=context.metrics, tracer=tracer)
+    return injector, tracer
+
+
+def test_tracer_records_fault_instants():
+    context, nodes = make_rig()
+    schedule = FaultSchedule().crash("a", at=1.0).recover("a", at=2.0)
+    injector, tracer = make_traced_injector(context, nodes, schedule)
+    injector.start()
+    context.sim.run(until=3.0)
+    # Node-scoped faults land on the node's trace row.
+    assert [(t, name, node) for t, name, _cat, node, _args
+            in tracer.instants] == [
+        (1.0, "fault.crash", "a"), (2.0, "fault.recover", "a")]
+
+
+def test_crash_recover_pair_records_a_downtime_span():
+    context, nodes = make_rig()
+    schedule = FaultSchedule().crash("a", at=1.0).recover("a", at=2.5)
+    injector, tracer = make_traced_injector(context, nodes, schedule)
+    injector.start()
+    context.sim.run(until=3.0)
+    spans = [s for s in tracer.spans if s.name == "fault.down"]
+    assert len(spans) == 1
+    span = spans[0]
+    assert (span.start, span.end) == (1.0, 2.5)
+    assert span.node == "a"
+    assert span.category == "fault"
+    assert span.args == {"target": "a"}
+
+
+def test_partition_window_records_a_global_span():
+    context, nodes = make_rig()
+    schedule = FaultSchedule().partition([["a"], ["b", "c"]],
+                                         start=1.0, end=2.0)
+    injector, tracer = make_traced_injector(context, nodes, schedule)
+    injector.start()
+    context.sim.run(until=3.0)
+    spans = [s for s in tracer.spans if s.name == "fault.partition"]
+    assert len(spans) == 1
+    assert (spans[0].start, spans[0].end) == (1.0, 2.0)
+    # Partitions have no single node: they render on the global row.
+    assert spans[0].node == ""
+
+
+def test_delay_window_records_a_span_per_link():
+    context, nodes = make_rig()
+    schedule = FaultSchedule().delay(("a", "b"), factor=4.0,
+                                     start=0.5, end=1.5)
+    injector, tracer = make_traced_injector(context, nodes, schedule)
+    injector.start()
+    context.sim.run(until=2.0)
+    spans = [s for s in tracer.spans if s.name == "fault.delay"]
+    assert len(spans) == 1
+    assert (spans[0].start, spans[0].end) == (0.5, 1.5)
+    assert spans[0].args == {"target": "a->b"}
+
+
+def test_unclosed_fault_window_leaves_no_span():
+    context, nodes = make_rig()
+    schedule = FaultSchedule().crash("a", at=1.0)   # never recovers
+    injector, tracer = make_traced_injector(context, nodes, schedule)
+    injector.start()
+    context.sim.run(until=5.0)
+    assert [s.name for s in tracer.spans] == []
+    assert [name for _t, name, _c, _n, _a in tracer.instants] == [
+        "fault.crash"]
+
+
+def test_untraced_injector_records_no_telemetry():
+    context, nodes = make_rig()
+    schedule = FaultSchedule().crash("a", at=1.0).recover("a", at=2.0)
+    injector = make_injector(context, nodes, schedule)
+    injector.start()
+    context.sim.run(until=3.0)
+    # Default tracer is the null tracer: behaviour identical, zero spans.
+    assert injector.injected == [(1.0, "crash", "a"), (2.0, "recover", "a")]
+    assert not injector._tracer

@@ -136,3 +136,36 @@ def test_histogram_describe_matches_list_describe_shape():
     summary = histogram.describe()
     assert summary["count"] == 3
     assert summary["mean"] == pytest.approx(0.2)
+
+
+def test_histogram_empty_reports_zero_everywhere():
+    histogram = StreamingHistogram()
+    assert histogram.count == 0
+    assert histogram.total == 0.0
+    assert histogram.mean == 0.0
+    for q in (0, 50, 99, 100):
+        assert histogram.percentile(q) == 0.0
+    assert histogram.describe() == {
+        "count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        "min": 0.0, "max": 0.0}
+
+
+def test_histogram_single_sample_every_percentile_is_the_sample():
+    histogram = StreamingHistogram()
+    histogram.add(0.05)
+    # With one sample min == max, so the bucket-edge estimate clamps to
+    # the exact value at every quantile.
+    for q in (0, 1, 50, 99, 100):
+        assert histogram.percentile(q) == pytest.approx(0.05)
+    assert histogram.mean == pytest.approx(0.05)
+    assert histogram.min == histogram.max == 0.05
+
+
+def test_histogram_p99_on_two_samples_picks_the_larger():
+    histogram = StreamingHistogram()
+    histogram.extend([0.01, 1.0])
+    # rank(ceil(0.99 * 2)) = 2: p99 must come from the larger sample's
+    # bucket, whose edge is clamped to the observed max.
+    assert histogram.percentile(99) == pytest.approx(1.0)
+    # rank 1: the smaller sample, within one log-bucket of error.
+    assert histogram.percentile(50) == pytest.approx(0.01, rel=0.08)

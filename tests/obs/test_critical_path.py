@@ -1,0 +1,202 @@
+"""Tests for per-transaction critical-path extraction and attribution."""
+
+import types
+
+import pytest
+
+from repro.obs.critical_path import (
+    TRANSIT,
+    extract_critical_paths,
+    render_summary,
+    summarize_critical_paths,
+    tx_timeline,
+)
+from repro.obs.tracer import Tracer
+from repro.sim import Simulation
+
+
+def make_tracer():
+    return Tracer(Simulation())
+
+
+def record(tracer, name, start, end, category="", node="", tx_id="",
+           wait=None, **args):
+    tracer.record_complete(name, category=category, node=node, tx_id=tx_id,
+                           start=start, end=end, **args)
+    if wait is not None:
+        tracer.spans[-1].wait = wait
+    return tracer.spans[-1]
+
+
+def metrics_stub(*records):
+    """A MetricsCollector look-alike: just the ``records`` mapping."""
+    table = {}
+    for tx_id, submitted, committed in records:
+        table[tx_id] = types.SimpleNamespace(
+            tx_id=tx_id, submitted=submitted, committed=committed)
+    return types.SimpleNamespace(records=table)
+
+
+def pipeline_tracer():
+    """One transaction through endorse -> order -> validate -> statedb.
+
+    Timeline (tx "t1", submitted 0.0, committed 10.0, anchor "peer0"):
+
+        endorse        [1, 3)   on peer0   (own span)
+        order.block    [4, 5)   shared
+        validate.vscc  [6, 7)   on peer0   (own span)
+        statedb.commit [7, 9)   on peer0   (shared, anchor only)
+
+    Gaps: [0,1) -> endorse transit, [3,4) -> order transit, [5,6) ->
+    validate transit, [9,10) -> the notify tail, charged to validate.
+    """
+    tracer = make_tracer()
+    record(tracer, "client.order_wait", 0.5, 10.0, category="order",
+           tx_id="t1", anchor="peer0")
+    record(tracer, "endorse", 1.0, 3.0, category="execute", node="peer0",
+           tx_id="t1")
+    record(tracer, "order.block", 4.0, 5.0, category="order", node="osn0")
+    record(tracer, "validate.vscc", 6.0, 7.0, category="validate",
+           node="peer0", tx_id="t1")
+    record(tracer, "statedb.commit", 7.0, 9.0, category="statedb",
+           node="peer0")
+    return tracer
+
+
+def test_walk_reconstructs_the_full_pipeline_with_transit_gaps():
+    tracer = pipeline_tracer()
+    paths = extract_critical_paths(tracer, metrics_stub(("t1", 0.0, 10.0)))
+    assert len(paths) == 1
+    path = paths[0]
+    assert path.anchor == "peer0"
+    assert path.e2e == pytest.approx(10.0)
+    # Segments come out in reverse time order (commit backwards).
+    names = [segment.name for segment in path.segments]
+    assert names == [TRANSIT, "statedb.commit", "validate.vscc", TRANSIT,
+                     "order.block", TRANSIT, "endorse", TRANSIT]
+    # Every gap is charged to the phase downstream of it.
+    phases = {(s.start, s.end): s.phase for s in path.segments
+              if s.name == TRANSIT}
+    assert phases[(9.0, 10.0)] == "validate"   # notify tail
+    assert phases[(5.0, 6.0)] == "validate"
+    assert phases[(3.0, 4.0)] == "order"
+    assert phases[(0.0, 1.0)] == "execute"
+    # The path tiles [submitted, committed) exactly.
+    covered = sum(s.duration for s in path.segments)
+    assert covered == pytest.approx(path.e2e)
+    assert path.coverage == pytest.approx(6.0 / 10.0)
+
+
+def test_wrapper_spans_never_become_segments():
+    tracer = pipeline_tracer()
+    # A client.execute wrapper covering everything must not swallow the
+    # path (it is filtered before indexing).
+    record(tracer, "client.execute", 0.0, 10.0, category="execute",
+           tx_id="t1")
+    record(tracer, "validate.block", 5.5, 9.5, category="validate",
+           node="peer0")
+    paths = extract_critical_paths(tracer, metrics_stub(("t1", 0.0, 10.0)))
+    names = {segment.name for segment in paths[0].segments}
+    assert "client.execute" not in names
+    assert "validate.block" not in names
+
+
+def test_shared_validate_spans_only_count_on_the_anchor_peer():
+    tracer = pipeline_tracer()
+    # A later statedb commit on a *different* peer must not shadow the
+    # anchor peer's: the client's latency is defined by its anchor.
+    record(tracer, "statedb.commit", 8.0, 9.9, category="statedb",
+           node="peer3")
+    paths = extract_critical_paths(tracer, metrics_stub(("t1", 0.0, 10.0)))
+    statedb = [s for s in paths[0].segments if s.name == "statedb.commit"]
+    assert len(statedb) == 1
+    assert statedb[0].node == "peer0"
+    assert statedb[0].end == pytest.approx(9.0)
+
+
+def test_span_start_clipped_to_submission_and_wait_clamped():
+    tracer = make_tracer()
+    # A shared span that started before this transaction existed: only
+    # the part after submission can be on its path, and the span's wait
+    # cannot exceed the clipped duration.
+    record(tracer, "order.block", 0.0, 6.0, category="order", node="osn0",
+           wait=5.0)
+    paths = extract_critical_paths(tracer, metrics_stub(("t2", 4.0, 6.0)))
+    segment = paths[0].segments[0]
+    assert segment.start == pytest.approx(4.0)
+    assert segment.duration == pytest.approx(2.0)
+    assert segment.wait == pytest.approx(2.0)
+    assert segment.service == 0.0
+
+
+def test_uninstrumented_transaction_is_pure_transit():
+    tracer = make_tracer()
+    paths = extract_critical_paths(tracer, metrics_stub(("t3", 1.0, 3.0)))
+    path = paths[0]
+    assert [s.name for s in path.segments] == [TRANSIT]
+    assert path.segments[0].phase == "validate"   # the tail default
+    assert path.coverage == 0.0
+
+
+def test_limit_keeps_only_the_earliest_commits():
+    tracer = make_tracer()
+    stub = metrics_stub(("a", 0.0, 2.0), ("b", 0.0, 1.0), ("c", 0.0, 3.0))
+    paths = extract_critical_paths(tracer, stub, limit=2)
+    assert [p.tx_id for p in paths] == ["b", "a"]
+
+
+def test_uncommitted_transactions_are_excluded():
+    tracer = make_tracer()
+    stub = metrics_stub(("done", 0.0, 1.0), ("pending", 0.0, None))
+    paths = extract_critical_paths(tracer, stub)
+    assert [p.tx_id for p in paths] == ["done"]
+
+
+def test_summary_attributes_seconds_per_phase_and_segment():
+    tracer = pipeline_tracer()
+    paths = extract_critical_paths(tracer, metrics_stub(("t1", 0.0, 10.0)))
+    summary = summarize_critical_paths(paths)
+    assert summary.transactions == 1
+    assert summary.total_e2e == pytest.approx(10.0)
+    assert summary.mean_e2e == pytest.approx(10.0)
+    # validate: vscc 1s + transit [5,6) 1s + tail [9,10) 1s = 3s.
+    assert summary.phases["validate"].seconds == pytest.approx(3.0)
+    assert summary.phases["execute"].seconds == pytest.approx(3.0)
+    assert summary.phases["order"].seconds == pytest.approx(2.0)
+    assert summary.phases["statedb"].seconds == pytest.approx(2.0)
+    assert summary.phase_share("validate") == pytest.approx(0.3)
+    assert summary.segments[TRANSIT].count == 4
+    # Shares in the JSON form sum to ~1 across phases.
+    payload = summary.as_dict()
+    assert payload["transactions"] == 1
+    total_share = sum(row["share"] for row in payload["phases"].values())
+    assert total_share == pytest.approx(1.0, abs=1e-4)
+
+
+def test_summary_of_no_paths_is_all_zero():
+    summary = summarize_critical_paths([])
+    assert summary.transactions == 0
+    assert summary.mean_e2e == 0.0
+    assert summary.dominant_phase == ""
+    assert summary.phase_share("validate") == 0.0
+    assert summary.as_dict()["phases"] == {}
+
+
+def test_render_summary_names_the_dominant_phase():
+    tracer = pipeline_tracer()
+    paths = extract_critical_paths(tracer, metrics_stub(("t1", 0.0, 10.0)))
+    text = render_summary(summarize_critical_paths(paths))
+    assert "dominant phase:" in text
+    assert TRANSIT in text
+    assert "statedb.commit" in text
+
+
+def test_tx_timeline_returns_own_spans_in_start_order():
+    tracer = pipeline_tracer()
+    record(tracer, "endorse", 0.8, 2.0, category="execute", node="peer1",
+           tx_id="t1")
+    spans = tx_timeline(tracer, "t1")
+    assert [span.name for span in spans] == [
+        "client.order_wait", "endorse", "endorse", "validate.vscc"]
+    assert spans[1].node == "peer1"
+    assert tx_timeline(tracer, "nope") == []

@@ -141,3 +141,135 @@ def test_unobserved_resource_has_no_monitor_attached():
     assert store.monitor is None
     assert resource.name is None
     assert store.name is None
+
+
+def test_zero_duration_windows_report_zero_not_nan():
+    sim = Simulation()
+    resource = Resource(sim, capacity=1, name="cpu")
+    monitor = watch_resource(resource)
+
+    def worker():
+        yield from resource.use(2.0)
+
+    sim.process(worker())
+    sim.run()
+    # Degenerate and inverted windows must be exactly zero, never a
+    # division by a zero (or negative) elapsed time.
+    assert monitor.utilization(1.0, 1.0) == 0.0
+    assert monitor.mean_queue(1.0, 1.0) == 0.0
+    assert monitor.utilization(3.0, 1.0) == 0.0
+    elapsed, busy, queue, _t0 = monitor._window(1.0, 1.0)
+    assert (elapsed, busy, queue) == (0.0, 0.0, 0.0)
+
+
+def test_coincident_checkpoints_skip_zero_duration_intervals():
+    sim = Simulation()
+    resource = Resource(sim, capacity=1, name="cpu")
+    monitor = watch_resource(resource)
+
+    def worker():
+        yield from resource.use(1.0)
+
+    def checkpoints():
+        monitor.checkpoint()
+        monitor.checkpoint()      # same instant: zero-duration interval
+        yield sim.timeout(2.0)
+        monitor.checkpoint()
+        monitor.checkpoint()
+
+    sim.process(worker())
+    sim.process(checkpoints())
+    sim.run()
+    # The doubled checkpoints contribute no intervals; the one real
+    # interval averages 1 busy-second over 2 seconds.
+    assert monitor.busy_series() == [(2.0, pytest.approx(0.5))]
+    assert monitor.queue_series() == [(2.0, pytest.approx(0.0))]
+
+
+def test_queue_series_reports_per_interval_mean_depth():
+    sim = Simulation()
+    resource = Resource(sim, capacity=1, name="cpu")
+    monitor = watch_resource(resource)
+
+    def worker():
+        yield from resource.use(2.0)
+
+    def checkpoints():
+        monitor.checkpoint()
+        yield sim.timeout(2.0)
+        monitor.checkpoint()
+        yield sim.timeout(2.0)
+        monitor.checkpoint()
+
+    sim.process(worker())
+    sim.process(worker())
+    sim.process(checkpoints())
+    sim.run()
+    series = monitor.queue_series()
+    # One request queued during [0, 2), none during [2, 4).
+    assert series[0] == (2.0, pytest.approx(1.0))
+    assert series[1] == (4.0, pytest.approx(0.0))
+
+
+def test_checkpoint_carries_queueing_counters():
+    sim = Simulation()
+    resource = Resource(sim, capacity=1, name="cpu")
+    monitor = watch_resource(resource)
+
+    def worker():
+        yield from resource.use(1.0)
+
+    sim.process(worker())
+    sim.process(worker())
+    sim.run()
+    point = monitor.checkpoint()
+    assert point.grants == 2
+    assert point.completions == 2
+    assert point.wait_total == pytest.approx(1.0)     # 0s + 1s queued
+    assert point.service_total == pytest.approx(2.0)  # two 1s holds
+
+
+def test_monitor_records_service_times_and_cancels():
+    sim = Simulation()
+    resource = Resource(sim, capacity=1, name="cpu")
+    monitor = watch_resource(resource)
+
+    def holder():
+        yield from resource.use(3.0)
+
+    def quitter():
+        request = resource.request()   # queued behind the holder
+        yield sim.timeout(1.0)
+        resource.release(request)      # withdrawn before its grant
+
+    sim.process(holder())
+    sim.process(quitter())
+    sim.run()
+    assert monitor.services.count == 1
+    assert monitor.services.total == pytest.approx(3.0)
+    assert monitor.cancels == 1
+    # The cancelled request never reached the wait histogram.
+    assert monitor.waits.count == 1
+
+
+def test_acquire_reports_measured_wait_to_the_tracer():
+    from repro.obs.tracer import Tracer
+
+    sim = Simulation()
+    tracer = Tracer(sim)
+    resource = Resource(sim, capacity=1, name="cpu")
+    monitor = watch_resource(resource)
+    monitor.tracer = tracer
+
+    def worker(label):
+        with tracer.span(label, node="peer"):
+            request = yield from resource.acquire()
+            yield sim.timeout(2.0)
+            resource.release(request)
+
+    sim.process(worker("first"))
+    sim.process(worker("second"))
+    sim.run()
+    waits = {span.name: span.wait for span in tracer.spans}
+    assert waits["first"] == pytest.approx(0.0)   # immediate grant
+    assert waits["second"] == pytest.approx(2.0)  # queued behind first

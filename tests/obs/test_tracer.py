@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.obs.tracer import NULL_SPAN, NULL_TRACER, NullTracer, Tracer
 from repro.sim import Simulation
 
@@ -162,3 +164,61 @@ def test_extra_events_are_mapped_to_node_processes():
     span = next(e for e in events if e["ph"] == "X")
     assert counter["pid"] == span["pid"]
     assert "node" not in counter
+
+
+def test_attach_wait_accumulates_on_the_innermost_open_span():
+    sim = Simulation()
+    tracer = Tracer(sim)
+
+    def worker():
+        with tracer.span("outer", node="peer"):
+            with tracer.span("inner", node="peer"):
+                tracer.attach_wait(0.25)
+                tracer.attach_wait(0.5)
+                yield sim.timeout(1.0)
+            tracer.attach_wait(0.125)
+
+    sim.process(worker())
+    sim.run()
+    waits = {span.name: span.wait for span in tracer.spans}
+    assert waits["inner"] == pytest.approx(0.75)
+    assert waits["outer"] == pytest.approx(0.125)
+
+
+def test_attach_wait_without_open_span_is_a_no_op():
+    sim = Simulation()
+    tracer = Tracer(sim)
+    tracer.attach_wait(1.0)      # must not raise, nothing to attach to
+    assert tracer.spans == []
+
+
+def test_block_cut_is_idempotent_per_block():
+    sim = Simulation()
+    tracer = Tracer(sim)
+    tracer.block_cut("ch", 7, ["a", "b"])
+    # A second OSN reporting the same cut must not overwrite the first.
+    tracer.block_cut("ch", 7, ["stale"])
+    tracer.block_cut("ch", 8, ["c"])
+    assert tracer.blocks == {("ch", 7): ["a", "b"], ("ch", 8): ["c"]}
+
+
+def test_record_complete_appends_a_finished_span_without_stacks():
+    sim = Simulation()
+    tracer = Tracer(sim)
+    tracer.record_complete("fault.down", category="fault", node="peer1",
+                           start=2.0, end=5.0, target="peer1")
+    span = tracer.spans[0]
+    assert (span.start, span.end) == (2.0, 5.0)
+    assert span.duration == pytest.approx(3.0)
+    assert span.args == {"target": "peer1"}
+    assert span.parent is None
+    assert tracer._stacks == {}
+    # Retro-recorded spans export like any other.
+    events = tracer.to_chrome_trace()["traceEvents"]
+    assert any(e["ph"] == "X" and e["name"] == "fault.down" for e in events)
+
+
+def test_null_tracer_new_surface_is_inert():
+    assert NULL_TRACER.attach_wait(1.0) is None
+    assert NULL_TRACER.block_cut("ch", 1, ["a"]) is None
+    assert NULL_TRACER.record_complete("x", start=0.0, end=1.0) is None

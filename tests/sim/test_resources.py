@@ -204,12 +204,24 @@ class RecordingMonitor:
     def __init__(self):
         self.states = []
         self.grants = []
+        self.releases = []
+        self.waits = []
+        self.cancels = 0
 
     def on_state(self, busy, queue):
         self.states.append((busy, queue))
 
     def on_grant(self, wait):
         self.grants.append(wait)
+
+    def on_release(self, service):
+        self.releases.append(service)
+
+    def on_cancel(self):
+        self.cancels += 1
+
+    def note_wait(self, wait):
+        self.waits.append(wait)
 
 
 def test_resource_monitor_hooks_fire_on_state_changes():
