@@ -21,6 +21,13 @@ from repro.analysis_tools.simlint.engine import (
     lint_paths,
     lint_source,
 )
+from repro.analysis_tools.simlint.flow_rules import flow_rules, project_rules
+from repro.analysis_tools.simlint.profiles import (
+    relaxed_rules,
+    rules_for,
+    strict_rules,
+)
+from repro.analysis_tools.simlint.project import ProjectContext, ProjectRule
 from repro.analysis_tools.simlint.rules import default_rules
 
 __all__ = [
@@ -28,9 +35,16 @@ __all__ = [
     "FileContext",
     "Linter",
     "LintResult",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "Severity",
     "default_rules",
+    "flow_rules",
     "lint_paths",
     "lint_source",
+    "project_rules",
+    "relaxed_rules",
+    "rules_for",
+    "strict_rules",
 ]

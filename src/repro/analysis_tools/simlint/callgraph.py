@@ -1,0 +1,132 @@
+"""Call-graph construction over the project symbol table.
+
+Edges are resolved syntactically, in three confidence tiers:
+
+1. **direct** — a bare-name call to a function defined in (or imported
+   into) the caller's module;
+2. **method** — a ``self.m(...)`` / ``cls.m(...)`` call resolved through
+   the enclosing class and its named bases;
+3. **unique** — an ``obj.m(...)`` attribute call whose name has exactly
+   one definition in the whole project (good enough for the simulator's
+   helper naming; anything ambiguous stays unresolved rather than wrong).
+
+The graph is deterministic: callers and callees iterate in qualname
+order.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import typing
+
+from repro.analysis_tools.simlint.project import (
+    FunctionInfo,
+    ModuleInfo,
+    ProjectContext,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class CallSite:
+    """One resolved call: the AST node plus the callee and confidence."""
+
+    call: ast.Call
+    callee: FunctionInfo
+    #: ``direct`` / ``method`` / ``unique``.
+    confidence: str
+
+
+class CallGraph:
+    """Resolved call edges for every function in a :class:`ProjectContext`."""
+
+    def __init__(self, project: ProjectContext) -> None:
+        self.project = project
+        #: Caller qualname -> resolved call sites, in source order.
+        self.calls: dict[str, list[CallSite]] = {}
+        #: Caller qualname -> callee qualnames (deduplicated, sorted).
+        self.edges: dict[str, list[str]] = {}
+        #: Callee qualname -> caller qualnames (deduplicated, sorted).
+        self.callers: dict[str, list[str]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for qualname in sorted(self.project.functions):
+            info = self.project.functions[qualname]
+            module = self.project.modules[info.module]
+            sites = [CallSite(call=call, callee=callee, confidence=conf)
+                     for call, callee, conf in iter_resolved_calls(
+                         self.project, module, info)]
+            self.calls[qualname] = sites
+            targets = sorted({site.callee.qualname for site in sites})
+            self.edges[qualname] = targets
+            for target in targets:
+                self.callers.setdefault(target, []).append(qualname)
+        for callers in self.callers.values():
+            callers.sort()
+
+    def callees(self, qualname: str) -> list[str]:
+        return self.edges.get(qualname, [])
+
+
+def own_calls(info: FunctionInfo) -> typing.Iterator[ast.Call]:
+    """Every ``ast.Call`` in ``info``'s own frame, in source order."""
+    stack: list[ast.AST] = list(reversed(info.node.body))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))
+
+
+def resolve_call(project: ProjectContext, module: ModuleInfo,
+                 caller: FunctionInfo,
+                 call: ast.Call) -> tuple[FunctionInfo, str] | None:
+    """Resolve one call to ``(callee, confidence)``, or None."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        info = project.resolve_name(module, func.id)
+        if info is not None:
+            return info, "direct"
+        return None
+    if isinstance(func, ast.Attribute):
+        receiver = func.value
+        if (isinstance(receiver, ast.Name)
+                and receiver.id in ("self", "cls")
+                and caller.cls is not None):
+            info = project.resolve_method(module, caller.cls, func.attr)
+            if info is not None:
+                return info, "method"
+        # Module-qualified call: ``helpers.f(...)`` via ``import helpers``.
+        if isinstance(receiver, ast.Name):
+            target = module.imports.get(receiver.id)
+            if target is not None:
+                mod = project.modules.get(target)
+                if mod is not None:
+                    info = mod.functions.get(func.attr)
+                    if info is not None:
+                        return info, "direct"
+        info = project.unique_by_name(func.attr)
+        if info is not None and info.cls is not None:
+            return info, "unique"
+        if info is not None and info.cls is None:
+            # A unique module-level function called through an attribute
+            # is almost always the same function re-exported.
+            return info, "unique"
+    return None
+
+
+def iter_resolved_calls(
+        project: ProjectContext, module: ModuleInfo, caller: FunctionInfo,
+) -> typing.Iterator[tuple[ast.Call, FunctionInfo, str]]:
+    for call in own_calls(caller):
+        resolved = resolve_call(project, module, caller, call)
+        if resolved is not None:
+            yield call, resolved[0], resolved[1]
+
+
+def build_call_graph(project: ProjectContext) -> CallGraph:
+    return CallGraph(project)

@@ -107,20 +107,26 @@ class Linter:
         tree = ast.parse(source, filename=relpath)
         context = FileContext(relpath=relpath, path=path or relpath,
                               tree=tree, source=source)
-        suppressions = parse_suppressions(source)
+        suppressions = parse_suppressions(source, tree)
         return self._run_rules(context, suppressions)[0]
 
     def lint_paths(self, paths: typing.Sequence[str | pathlib.Path],
-                   root: str | pathlib.Path | None = None) -> LintResult:
+                   root: str | pathlib.Path | None = None,
+                   project: bool = False) -> LintResult:
         """Lint every ``.py`` file under ``paths``.
 
         ``root`` anchors the relative paths rule allowlists match against;
         it defaults to each argument path itself (so linting ``src/repro``
-        yields relpaths like ``sim/rng.py``).
+        yields relpaths like ``sim/rng.py``).  With ``project=True``, any
+        :class:`~repro.analysis_tools.simlint.project.ProjectRule` in the
+        rule list additionally runs once over the whole file set (symbol
+        table + call graph); per-file suppressions still apply to its
+        diagnostics.
         """
         diagnostics: list[Diagnostic] = []
         files_checked = 0
         suppressed = 0
+        parsed: list[tuple["FileContext", SuppressionIndex]] = []
         for base in paths:
             base_path = pathlib.Path(base)
             anchor = pathlib.Path(root) if root is not None else base_path
@@ -128,9 +134,17 @@ class Linter:
                 anchor = anchor.parent
             for file_path in self._discover(base_path):
                 files_checked += 1
-                diags, file_suppressed = self._lint_file(file_path, anchor)
+                diags, file_suppressed, entry = self._lint_file(
+                    file_path, anchor)
                 diagnostics.extend(diags)
                 suppressed += file_suppressed
+                if entry is not None:
+                    parsed.append(entry)
+        if project and parsed:
+            project_diags, project_suppressed = self._run_project_rules(
+                parsed)
+            diagnostics.extend(project_diags)
+            suppressed += project_suppressed
         diagnostics.sort(key=lambda d: (d.path, d.line, d.column, d.rule))
         return LintResult(diagnostics=diagnostics,
                           files_checked=files_checked,
@@ -147,8 +161,10 @@ class Linter:
         return sorted(path for path in base.rglob("*.py")
                       if path.is_file())
 
-    def _lint_file(self, file_path: pathlib.Path,
-                   anchor: pathlib.Path) -> tuple[list[Diagnostic], int]:
+    def _lint_file(
+            self, file_path: pathlib.Path, anchor: pathlib.Path,
+    ) -> tuple[list[Diagnostic], int,
+               tuple[FileContext, SuppressionIndex] | None]:
         source = file_path.read_text(encoding="utf-8")
         try:
             relpath = file_path.relative_to(anchor).as_posix()
@@ -161,11 +177,12 @@ class Linter:
                 rule="SL000", severity=Severity.ERROR, path=str(file_path),
                 line=error.lineno or 1, column=(error.offset or 0) + 1,
                 message=f"syntax error: {error.msg}")
-            return [diag], 0
+            return [diag], 0, None
         context = FileContext(relpath=relpath, path=str(file_path),
                               tree=tree, source=source)
-        suppressions = parse_suppressions(source)
-        return self._run_rules(context, suppressions)
+        suppressions = parse_suppressions(source, tree)
+        kept, suppressed = self._run_rules(context, suppressions)
+        return kept, suppressed, (context, suppressions)
 
     def _run_rules(self, context: FileContext,
                    suppressions: SuppressionIndex
@@ -180,6 +197,34 @@ class Linter:
                     kept.append(diag)
         return kept, suppressed
 
+    def _run_project_rules(
+            self, parsed: typing.Sequence[
+                tuple[FileContext, SuppressionIndex]],
+    ) -> tuple[list[Diagnostic], int]:
+        from repro.analysis_tools.simlint.project import (
+            ProjectContext,
+            ProjectRule,
+        )
+
+        project_rules = [rule for rule in self.rules
+                         if isinstance(rule, ProjectRule)]
+        if not project_rules:
+            return [], 0
+        project = ProjectContext([context for context, _ in parsed])
+        by_path = {context.path: suppressions
+                   for context, suppressions in parsed}
+        kept: list[Diagnostic] = []
+        suppressed = 0
+        for rule in project_rules:
+            for diag in rule.check_project(project):
+                index = by_path.get(diag.path)
+                if index is not None and index.is_suppressed(
+                        diag.rule, diag.line):
+                    suppressed += 1
+                else:
+                    kept.append(diag)
+        return kept, suppressed
+
 
 def lint_source(source: str, relpath: str = "<string>") -> list[Diagnostic]:
     """Convenience wrapper: lint one source string with the default rules."""
@@ -187,6 +232,7 @@ def lint_source(source: str, relpath: str = "<string>") -> list[Diagnostic]:
 
 
 def lint_paths(paths: typing.Sequence[str | pathlib.Path],
-               root: str | pathlib.Path | None = None) -> LintResult:
+               root: str | pathlib.Path | None = None,
+               project: bool = False) -> LintResult:
     """Convenience wrapper: lint paths with the default rules."""
-    return Linter().lint_paths(paths, root=root)
+    return Linter().lint_paths(paths, root=root, project=project)

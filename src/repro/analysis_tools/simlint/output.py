@@ -1,0 +1,185 @@
+"""Machine-readable lint output and the CI baseline mechanism.
+
+Three render targets:
+
+- **text** — the human format (``LintResult.render``), unchanged;
+- **json** — a stable dict for scripting (diagnostics + summary);
+- **sarif** — SARIF 2.1.0 for code-scanning upload in CI.
+
+The **baseline** lets CI gate on *new* errors without first driving the
+repository to zero findings.  A baseline file records a fingerprint per
+accepted diagnostic; a later run fails only on error-severity findings
+whose fingerprint is absent from the baseline.  Fingerprints hash the
+rule id, the file path, the message, and an occurrence index — but *not*
+the line number — so unrelated edits that shift code do not invalidate
+the baseline, while a second identical violation in the same file does
+get caught (it bumps the occurrence index).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import typing
+
+from repro.analysis_tools.simlint.diagnostics import Diagnostic, Severity
+from repro.analysis_tools.simlint.engine import LintResult, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+BASELINE_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# JSON
+# ----------------------------------------------------------------------
+
+def diagnostic_dict(diag: Diagnostic) -> dict[str, typing.Any]:
+    return {
+        "rule": diag.rule,
+        "severity": str(diag.severity),
+        "path": diag.path,
+        "line": diag.line,
+        "column": diag.column,
+        "message": diag.message,
+    }
+
+
+def to_json(result: LintResult) -> dict[str, typing.Any]:
+    """A stable JSON-serialisable view of one lint run."""
+    return {
+        "diagnostics": [diagnostic_dict(d) for d in result.diagnostics],
+        "summary": {
+            "findings": len(result.diagnostics),
+            "errors": len(result.errors),
+            "files_checked": result.files_checked,
+            "suppressed": result.suppressed,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# SARIF 2.1.0
+# ----------------------------------------------------------------------
+
+def to_sarif(result: LintResult,
+             rules: typing.Sequence[Rule] = ()) -> dict[str, typing.Any]:
+    """Render a lint run as a SARIF 2.1.0 log.
+
+    ``rules`` populates the tool's rule metadata; rules that produced no
+    findings are still listed so the scanning UI can show the full set.
+    """
+    rule_meta = [
+        {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {
+                "level": str(rule.severity),
+            },
+        }
+        for rule in sorted(rules, key=lambda rule: rule.rule_id)
+    ]
+    results = [
+        {
+            "ruleId": diag.rule,
+            "level": str(diag.severity),
+            "message": {"text": diag.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": pathlib.PurePath(diag.path).as_posix(),
+                    },
+                    "region": {
+                        "startLine": diag.line,
+                        "startColumn": diag.column,
+                    },
+                },
+            }],
+            "fingerprints": {
+                "simlint/v1": fingerprint(diag, occurrence=index),
+            },
+        }
+        for index, diag in _with_occurrences(result.diagnostics)
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "simlint",
+                    "shortDescription": {
+                        "text": "determinism and resource-discipline "
+                                "linter for the Fabric simulator",
+                    },
+                    "rules": rule_meta,
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+
+def fingerprint(diag: Diagnostic, occurrence: int = 0) -> str:
+    """A line-number-independent identity for one finding."""
+    path = pathlib.PurePath(diag.path).as_posix()
+    payload = f"{diag.rule}\x1f{path}\x1f{diag.message}\x1f{occurrence}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+def _with_occurrences(diagnostics: typing.Sequence[Diagnostic]
+                      ) -> typing.Iterator[tuple[int, Diagnostic]]:
+    """Each diagnostic with its occurrence index among identical ones."""
+    counts: dict[tuple[str, str, str], int] = {}
+    for diag in diagnostics:
+        key = (diag.rule, pathlib.PurePath(diag.path).as_posix(),
+               diag.message)
+        index = counts.get(key, 0)
+        counts[key] = index + 1
+        yield index, diag
+
+
+def baseline_fingerprints(result: LintResult) -> list[str]:
+    return sorted(fingerprint(diag, occurrence=index)
+                  for index, diag in _with_occurrences(result.diagnostics))
+
+
+def write_baseline(result: LintResult,
+                   path: str | pathlib.Path) -> dict[str, typing.Any]:
+    """Accept the current findings: write their fingerprints to ``path``."""
+    data = {
+        "version": BASELINE_VERSION,
+        "tool": "simlint",
+        "fingerprints": baseline_fingerprints(result),
+    }
+    pathlib.Path(path).write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    return data
+
+
+def load_baseline(path: str | pathlib.Path) -> frozenset[str]:
+    data = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported simlint baseline version {data.get('version')!r} "
+            f"in {path}")
+    return frozenset(data.get("fingerprints", ()))
+
+
+def new_errors(result: LintResult,
+               baseline: frozenset[str]) -> list[Diagnostic]:
+    """Error-severity findings not accounted for by the baseline."""
+    fresh: list[Diagnostic] = []
+    for index, diag in _with_occurrences(result.diagnostics):
+        if diag.severity is not Severity.ERROR:
+            continue
+        if fingerprint(diag, occurrence=index) not in baseline:
+            fresh.append(diag)
+    return fresh

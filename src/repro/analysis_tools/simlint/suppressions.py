@@ -9,12 +9,21 @@ Two forms are recognised:
   named rules for the whole file (a bare ``disable-file`` is deliberately
   not supported: whole-file blanket suppression hides too much).
 
+When the engine passes the parsed AST along, line suppressions are
+additionally *span-aware*: a comment anywhere on a multi-line statement
+(including a decorator line or a wrapped signature) covers the whole
+statement, so diagnostics anchored on a continuation line are still
+suppressed.  Compound statements (``if``/``for``/``with``/``def``…) are
+covered only across their header — a comment on a ``def`` line does not
+blanket the function body.
+
 Suppressions are meant to be rare and always paired with a comment
 explaining *why* the violation is deliberate.
 """
 
 from __future__ import annotations
 
+import ast
 import dataclasses
 import re
 
@@ -35,14 +44,22 @@ class SuppressionIndex:
     by_line: dict[int, set[str]]
     #: rules disabled for the entire file.
     file_wide: set[str]
+    #: ``(first_line, last_line, rules)`` statement spans a suppression
+    #: comment extends over (requires the AST; see module docstring).
+    spans: list[tuple[int, int, set[str]]] = dataclasses.field(
+        default_factory=list)
 
     def is_suppressed(self, rule: str, line: int) -> bool:
         if rule in self.file_wide:
             return True
         rules = self.by_line.get(line)
-        if rules is None:
-            return False
-        return ALL_RULES in rules or rule in rules
+        if rules is not None and (ALL_RULES in rules or rule in rules):
+            return True
+        for start, end, span_rules in self.spans:
+            if start <= line <= end and (
+                    ALL_RULES in span_rules or rule in span_rules):
+                return True
+        return False
 
     @property
     def count(self) -> int:
@@ -53,8 +70,39 @@ def _split(rules: str) -> set[str]:
     return {part.strip() for part in rules.split(",") if part.strip()}
 
 
-def parse_suppressions(source: str) -> SuppressionIndex:
-    """Scan ``source`` for suppression comments (1-based line numbers)."""
+def _statement_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """Suppression-relevant ``(first, last)`` line spans, 1-based.
+
+    Simple statements span their full extent; compound statements span
+    their header (decorators + signature/test, up to the line before the
+    first body statement) so a comment on the header never silences the
+    whole body.
+    """
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        decorators = getattr(node, "decorator_list", None)
+        if decorators:
+            start = min(start, *(d.lineno for d in decorators))
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            end = body[0].lineno - 1
+        else:
+            end = node.end_lineno or node.lineno
+        if end > start or decorators:
+            spans.append((start, max(start, end)))
+    return spans
+
+
+def parse_suppressions(source: str,
+                       tree: ast.Module | None = None) -> SuppressionIndex:
+    """Scan ``source`` for suppression comments (1-based line numbers).
+
+    With ``tree``, comments attached to multi-line statements extend
+    over the statement's whole span.
+    """
     by_line: dict[int, set[str]] = {}
     file_wide: set[str] = set()
     for number, text in enumerate(source.splitlines(), start=1):
@@ -72,4 +120,14 @@ def parse_suppressions(source: str) -> SuppressionIndex:
                 entry.add(ALL_RULES)
             else:
                 entry |= _split(rules)
-    return SuppressionIndex(by_line=by_line, file_wide=file_wide)
+    spans: list[tuple[int, int, set[str]]] = []
+    if tree is not None and by_line:
+        for start, end in _statement_spans(tree):
+            covered: set[str] = set()
+            for line in range(start, end + 1):
+                covered |= by_line.get(line, set())
+            if covered:
+                spans.append((start, end, covered))
+        spans.sort()
+    return SuppressionIndex(by_line=by_line, file_wide=file_wide,
+                            spans=spans)

@@ -23,6 +23,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 import typing
@@ -107,12 +108,76 @@ def _run_obs_diff(args) -> int:
 
 
 def _run_lint(args) -> int:
-    """The ``lint`` subcommand: simlint over the simulator source tree."""
-    from repro.analysis_tools.simlint import lint_paths
+    """The ``lint`` subcommand: simlint over the simulator source tree.
 
-    paths = args.paths or [_default_lint_root()]
-    result = lint_paths(paths)
-    print(result.render())
+    Without ``--path``, sweeps the installed package with the strict
+    profile plus ``tests/`` and ``benchmarks/`` with the relaxed one.
+    Exit status: 0 when clean — or, with ``--baseline``, when no *new*
+    error-severity findings appeared beyond the accepted baseline.
+    """
+    from repro.analysis_tools.simlint import output as lint_output
+    from repro.analysis_tools.simlint.engine import LintResult
+    from repro.analysis_tools.simlint.profiles import linter_for, rules_for
+
+    project = bool(args.lint_project)
+    if args.paths:
+        runs = [(args.lint_profile, list(args.paths))]
+    else:
+        runs = [("strict", [_default_lint_root()])]
+        repo_root = pathlib.Path(_default_lint_root()).parent.parent
+        for extra in ("tests", "benchmarks"):
+            tree = repo_root / extra
+            if tree.is_dir():
+                runs.append(("relaxed", [str(tree)]))
+
+    diagnostics = []
+    files_checked = 0
+    suppressed = 0
+    for profile, paths in runs:
+        linter = linter_for(profile, project=project)
+        partial = linter.lint_paths(paths, project=project)
+        diagnostics.extend(partial.diagnostics)
+        files_checked += partial.files_checked
+        suppressed += partial.suppressed
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.column, d.rule))
+    result = LintResult(diagnostics=diagnostics,
+                        files_checked=files_checked,
+                        suppressed=suppressed)
+
+    if args.write_baseline:
+        data = lint_output.write_baseline(result, args.write_baseline)
+        print(f"simlint: baseline with {len(data['fingerprints'])} "
+              f"fingerprint(s) written to {args.write_baseline}")
+        return 0
+
+    baseline = (lint_output.load_baseline(args.baseline)
+                if args.baseline else None)
+    fresh = (lint_output.new_errors(result, baseline)
+             if baseline is not None else None)
+
+    if args.lint_format == "text":
+        report = result.render()
+        if fresh is not None:
+            report += (f"\nsimlint: {len(fresh)} new error(s) vs baseline "
+                       f"{args.baseline}")
+    else:
+        if args.lint_format == "sarif":
+            payload = lint_output.to_sarif(
+                result, rules_for("strict", project=True))
+        else:
+            payload = lint_output.to_json(result)
+            if fresh is not None:
+                payload["new_errors"] = [
+                    lint_output.diagnostic_dict(d) for d in fresh]
+        report = json.dumps(payload, indent=2, sort_keys=True)
+    if args.out:
+        pathlib.Path(args.out).write_text(report + "\n", encoding="utf-8")
+        print(f"simlint: report written to {args.out}")
+    else:
+        print(report)
+
+    if fresh is not None:
+        return 0 if not fresh else 1
     return 0 if result.ok else 1
 
 
@@ -312,11 +377,37 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
                              help="write the critical-path + queueing "
                                   "summary JSON (obs-diff comparable)")
     lint_group = parser.add_argument_group(
-        "lint options", "only used with the 'lint' experiment")
+        "lint options",
+        "only used with the 'lint' experiment; --out writes the report "
+        "to a file and --baseline names an accepted-findings file "
+        "(shared flags)")
     lint_group.add_argument("--path", dest="paths", action="append",
                             default=None, metavar="DIR",
                             help="file or directory to lint (repeatable; "
-                                 "default: the installed repro package)")
+                                 "default: the installed repro package "
+                                 "plus tests/ and benchmarks/ with the "
+                                 "relaxed profile)")
+    lint_group.add_argument("--project", dest="lint_project",
+                            action="store_true",
+                            help="also run the cross-file rules (SL012/"
+                                 "SL014/SL015) over the project symbol "
+                                 "table and call graph")
+    lint_group.add_argument("--profile", dest="lint_profile",
+                            default="strict",
+                            choices=["strict", "relaxed"],
+                            help="rule profile for explicitly given "
+                                 "--path targets (default strict; the "
+                                 "default sweep picks per-tree profiles "
+                                 "itself)")
+    lint_group.add_argument("--format", dest="lint_format",
+                            default="text",
+                            choices=["text", "json", "sarif"],
+                            help="report format (default text; sarif is "
+                                 "SARIF 2.1.0 for code-scanning upload)")
+    lint_group.add_argument("--write-baseline", dest="write_baseline",
+                            default=None, metavar="PATH",
+                            help="accept the current findings: write "
+                                 "their fingerprints to PATH and exit 0")
     check_group = parser.add_argument_group(
         "check-determinism options",
         "only used with the 'check-determinism' experiment; --orderer, "

@@ -268,7 +268,8 @@ class CriticalPathSummary:
 
     def as_dict(self) -> dict[str, typing.Any]:
         """JSON-ready form; key-sorted by the caller when hashed."""
-        def table(entries: dict[str, AttributionEntry]) -> dict:
+        def table(entries: dict[str, AttributionEntry]
+                  ) -> dict[str, dict[str, float]]:
             return {
                 name: {
                     "seconds": round(entry.seconds, 9),

@@ -14,6 +14,9 @@ from repro.obs.sampler import (
 from repro.obs.tracer import Tracer
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.metrics.collector import MetricsCollector
+    from repro.obs.critical_path import CriticalPathSummary
+    from repro.obs.queueing import QueueingReport
     from repro.sim.core import Simulation
     from repro.sim.resources import Resource, Store
 
@@ -83,7 +86,8 @@ class Observability:
         """Bottleneck attribution over ``[start, end)`` (default: all)."""
         return bottleneck_report(self.tracer, self.monitors, start, end)
 
-    def queueing_report(self, tolerance: float | None = None):
+    def queueing_report(self,
+                        tolerance: float | None = None) -> QueueingReport:
         """Per-resource wait/service stats with the Little's-law check."""
         from repro.obs.queueing import LITTLE_TOLERANCE, queueing_report
 
@@ -91,7 +95,8 @@ class Observability:
             self.monitors,
             tolerance=LITTLE_TOLERANCE if tolerance is None else tolerance)
 
-    def critical_path_summary(self, metrics):
+    def critical_path_summary(
+            self, metrics: MetricsCollector) -> CriticalPathSummary:
         """Aggregated critical-path attribution for committed txs."""
         from repro.obs.critical_path import (
             extract_critical_paths,
@@ -101,9 +106,9 @@ class Observability:
         return summarize_critical_paths(
             extract_critical_paths(self.tracer, metrics))
 
-    def counter_events(self) -> list[dict]:
+    def counter_events(self) -> list[dict[str, typing.Any]]:
         """Chrome counter events for every monitor's busy-server series."""
-        events = []
+        events: list[dict[str, typing.Any]] = []
         for monitor in self.monitors.values():
             for when, busy in monitor.busy_series():
                 events.append({
@@ -115,7 +120,8 @@ class Observability:
                 })
         return events
 
-    def to_chrome_trace(self, counters: bool = True) -> dict:
+    def to_chrome_trace(self,
+                        counters: bool = True) -> dict[str, typing.Any]:
         """The full run as Chrome ``trace_event`` JSON (spans + counters)."""
         extra = self.counter_events() if counters else None
         return self.tracer.to_chrome_trace(extra_events=extra)

@@ -24,7 +24,7 @@ import typing
 from repro.metrics.stats import StreamingHistogram
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.sim.core import Simulation
+    from repro.sim.core import ProcessGenerator, Simulation
     from repro.sim.resources import Resource, Store
 
 
@@ -301,7 +301,7 @@ class UtilizationSampler:
         if self._process is None or not self._process.is_alive:
             self._process = self.sim.process(self._run(until))
 
-    def _run(self, until: float | None):
+    def _run(self, until: float | None) -> "ProcessGenerator":
         while until is None or self.sim.now < until:
             yield self.sim.timeout(self.interval)
             self.sample()

@@ -33,6 +33,8 @@ import json
 import typing
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    import types
+
     from repro.sim.core import Simulation
 
 
@@ -79,7 +81,9 @@ class Span:
         self._tracer._open(self)
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: "types.TracebackType | None") -> bool:
         self._tracer._close(self)
         return False
 
@@ -107,7 +111,9 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: "types.TracebackType | None") -> bool:
         return False
 
 
@@ -162,7 +168,8 @@ class Tracer:
     def __init__(self, sim: "Simulation") -> None:
         self.sim = sim
         self.spans: list[Span] = []
-        self.instants: list[tuple[float, str, str, str, dict | None]] = []
+        self.instants: list[
+            tuple[float, str, str, str, dict[str, typing.Any] | None]] = []
         self.counters: list[tuple[float, str, str, dict[str, float]]] = []
         #: Block composition: (channel, number) -> tx_ids, recorded by the
         #: ordering service when it cuts a block.  Critical-path extraction
@@ -261,14 +268,16 @@ class Tracer:
     # Export: Chrome trace_event JSON
     # ------------------------------------------------------------------
 
-    def to_chrome_trace(self, extra_events: list[dict] | None = None) -> dict:
+    def to_chrome_trace(
+            self, extra_events: list[dict[str, typing.Any]] | None = None,
+    ) -> dict[str, typing.Any]:
         """The trace as a Chrome ``trace_event`` object.
 
         One *process* per simulated node; concurrent spans of one node are
         spread greedily over numbered lanes (threads) so nothing overlaps
         in the viewer.  Times are microseconds of simulated time.
         """
-        events: list[dict] = []
+        events: list[dict[str, typing.Any]] = []
         pids: dict[str, int] = {}
 
         def pid_for(node: str) -> int:
@@ -348,7 +357,8 @@ class Tracer:
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
     def write_chrome_trace(self, path: str,
-                           extra_events: list[dict] | None = None) -> None:
+                           extra_events: list[dict[str, typing.Any]] | None
+                           = None) -> None:
         """Write the Chrome trace JSON to ``path``."""
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(self.to_chrome_trace(extra_events), handle)

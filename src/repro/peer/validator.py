@@ -184,8 +184,11 @@ class BlockValidator:
                           txs=len(block.transactions))
             # 1. Orderer signature on the block header.
             committer = self._workers.request()
-            yield committer
             try:
+                # The grant wait sits inside the try: an interrupt at
+                # this yield must still hand the (queued or granted)
+                # slot back, or the worker pool shrinks for good.
+                yield committer
                 yield from peer.cpu.use(peer.costs.block_verify_cpu)
             finally:
                 self._workers.release(committer)
@@ -216,8 +219,8 @@ class BlockValidator:
             backend = self.ledger.state
             read_cost = 0.0
             committer = self._workers.request()
-            yield committer
             try:
+                yield committer
                 # 3. Serial MVCC in block order.  With bulk reads enabled,
                 #    the whole read set is prefetched in one backend round
                 #    trip; otherwise each get_version is a point read.

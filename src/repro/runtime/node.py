@@ -101,8 +101,10 @@ class NodeBase:
         if tls > 0:
             cpu = self.cpu
             request = cpu.request()
-            yield request
             try:
+                # Grant wait inside the try: an interrupt here must
+                # still return the slot.
+                yield request
                 yield self.sim.timeout(tls)
             finally:
                 cpu.release(request)

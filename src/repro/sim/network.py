@@ -181,8 +181,10 @@ class Network:
         # Serialization at the sender's (single, shared) NIC.
         nic = self._nics[source]
         request = nic.request()
-        yield request
         try:
+            # Grant wait inside the try: an interrupt (e.g. a node crash
+            # mid-send) must still return the NIC slot.
+            yield request
             yield sim.timeout(message.size / link.bandwidth)
         finally:
             nic.release(request)

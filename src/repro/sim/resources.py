@@ -170,7 +170,14 @@ class Resource:
         innermost open span — call sites no longer compute it by hand.
         """
         request = self.request()
-        yield request
+        try:
+            yield request
+        except BaseException:
+            # The waiter died at the grant yield (interrupt / process
+            # kill): hand the granted slot back — or cancel the queued
+            # request — so the pool's capacity cannot leak away.
+            self.release(request)
+            raise
         monitor = self.monitor
         if monitor is not None:
             wait = (self.sim.now - request.queued_at

@@ -41,9 +41,9 @@ def test_all_peers_reach_same_height_and_state():
     network.run_workload()
     heights = {peer.ledger.height for peer in network.peers}
     assert len(heights) == 1
-    states = {tuple(sorted(
+    states = {tuple(
         (key, peer.ledger.state.get(key).value)
-        for key in peer.ledger.state.keys()))
+        for key in sorted(peer.ledger.state.keys()))
         for peer in network.peers}
     assert len(states) == 1
 

@@ -10,7 +10,9 @@ from repro.sim import Simulation
 def at(sim, time):
     """Advance the simulation clock to ``time``."""
     def nudge():
-        yield sim.timeout(time - sim.now)
+        # A backwards target must raise (Timeout rejects negative
+        # delays), not be clamped to 0 — it flags a bad test schedule.
+        yield sim.timeout(time - sim.now)  # simlint: disable=SL007
     sim.run(until=sim.process(nudge()))
 
 

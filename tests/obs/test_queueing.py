@@ -128,8 +128,10 @@ def test_cancelled_requests_are_counted():
 
     def quitter():
         request = resource.request()
-        yield sim.timeout(1.0)
-        resource.release(request)
+        try:
+            yield sim.timeout(1.0)
+        finally:
+            resource.release(request)
 
     sim.process(holder())
     sim.process(quitter())

@@ -239,8 +239,10 @@ def test_monitor_records_service_times_and_cancels():
 
     def quitter():
         request = resource.request()   # queued behind the holder
-        yield sim.timeout(1.0)
-        resource.release(request)      # withdrawn before its grant
+        try:
+            yield sim.timeout(1.0)
+        finally:
+            resource.release(request)  # withdrawn before its grant
 
     sim.process(holder())
     sim.process(quitter())
@@ -264,8 +266,10 @@ def test_acquire_reports_measured_wait_to_the_tracer():
     def worker(label):
         with tracer.span(label, node="peer"):
             request = yield from resource.acquire()
-            yield sim.timeout(2.0)
-            resource.release(request)
+            try:
+                yield sim.timeout(2.0)
+            finally:
+                resource.release(request)
 
     sim.process(worker("first"))
     sim.process(worker("second"))

@@ -166,10 +166,12 @@ def test_contended_grants_are_fifo(capacity, waiters):
     def waiter(index):
         yield sim.timeout(0.5)  # queue strictly after the hog holds all slots
         request = resource.request()
-        yield request
-        granted.append(index)
-        yield sim.timeout(0.1)
-        resource.release(request)
+        try:
+            yield request
+            granted.append(index)
+            yield sim.timeout(0.1)
+        finally:
+            resource.release(request)
 
     sim.process(hog())
     for index in range(waiters):

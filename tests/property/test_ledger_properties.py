@@ -64,7 +64,7 @@ def test_chain_always_verifies_and_state_matches_valid_writes(batches):
     assert ledger.blocks.verify_chain()
     # Invariant 2: world state equals the replay of valid writes.
     actual = {key: ledger.state.get(key).value
-              for key in ledger.state.keys()}
+              for key in sorted(ledger.state.keys())}
     assert actual == expected_state
     # Invariant 3: every transaction is on-chain exactly once.
     for tx_id in seen_tx_ids:

@@ -38,9 +38,9 @@ def test_resource_conservation_and_fifo(service_times, capacity):
 
     def job(sim, index, service_time):
         request = resource.request()
-        yield request
-        starts.append((sim.now, index))
         try:
+            yield request
+            starts.append((sim.now, index))
             yield sim.timeout(service_time)
         finally:
             resource.release(request)

@@ -30,10 +30,12 @@ def test_release_wakes_fifo_order():
 
     def worker(sim, resource, name, hold):
         request = resource.request()
-        yield request
-        order.append(("start", name, sim.now))
-        yield sim.timeout(hold)
-        resource.release(request)
+        try:
+            yield request
+            order.append(("start", name, sim.now))
+            yield sim.timeout(hold)
+        finally:
+            resource.release(request)
 
     sim.process(worker(sim, resource, "a", 2))
     sim.process(worker(sim, resource, "b", 1))
@@ -83,7 +85,9 @@ def test_use_releases_on_interrupt():
 def test_release_of_queued_request_cancels_it():
     sim = Simulation()
     resource = Resource(sim, capacity=1)
-    held = resource.request()
+    # No yields between request and release: nothing can interrupt this
+    # test body, and it exists precisely to exercise raw cancel calls.
+    held = resource.request()  # simlint: disable=SL011
     queued = resource.request()
     resource.release(queued)
     assert resource.queue_length == 0
