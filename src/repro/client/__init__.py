@@ -14,7 +14,9 @@ transactions are invoked asynchronously without waiting for previous
 responses, and each client issues many transactions (MSP setup is paid once).
 """
 
+from repro.client.population import ClientPopulation, Cohort, plan_cohorts
 from repro.client.sdk import ClientNode
 from repro.client.workload import WorkloadGenerator
 
-__all__ = ["ClientNode", "WorkloadGenerator"]
+__all__ = ["ClientNode", "ClientPopulation", "Cohort", "WorkloadGenerator",
+           "plan_cohorts"]

@@ -1,0 +1,229 @@
+"""Aggregated client populations: millions of users, O(cohorts) processes.
+
+The classic :class:`~repro.client.workload.WorkloadGenerator` spawns one
+kernel process (and one simulated SDK machine) per client, which caps a
+practical run at a few hundred clients.  Characterising peer/channel
+scalability the way Nguyen et al. (arXiv:2107.09886) do needs load that
+*statistically* looks like millions of independent users without paying a
+process per user.
+
+The trick is arrival-stream aggregation: the superposition of N independent
+Poisson(λ) arrival streams is a Poisson(Nλ) stream, so one *cohort* process
+with a single exponential draw per arrival generates the exact open-loop
+traffic of its whole user slice.  Each arrival is then attributed to a
+virtual user drawn from the cohort's slice — uniformly, or Zipf-skewed so a
+hot minority of users dominates — and that user id drives key-space access
+(each user owns a home key in conflict mode, so user skew becomes key
+contention).  The result: population size is a pure parameter.  A
+1,000,000-user run spawns O(cohorts) kernel processes and costs the same as
+any run at equal aggregate rate.
+
+Accounting: every transaction is tagged with its cohort (and channel) on
+the :class:`~repro.metrics.collector.TxRecord`, so
+:meth:`~repro.metrics.collector.MetricsCollector.aggregate_by_cohort`
+yields per-cohort PhaseMetrics after the run.  Each cohort draws from its
+own seeded RNG stream (``population.<cohort>``), keeping runs reproducible
+and cohorts statistically independent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.client.sdk import ClientNode
+from repro.client.workload import chaincode_for
+from repro.common.config import WorkloadConfig
+from repro.common.errors import ConfigurationError
+
+
+@dataclasses.dataclass
+class CohortSpec:
+    """One cohort's slice of the population, before a client is attached.
+
+    ``user_base`` is the first virtual user id of the slice; the cohort
+    carries users ``[user_base, user_base + users)``.
+    """
+
+    name: str
+    channel: str
+    users: int
+    user_base: int
+    rate: float          # aggregate cohort arrival rate (tx/s); 0 = idle
+    workload: str        # "unique" | "conflict"
+    tx_size: int
+    key_space: int
+    skew: float
+
+    @property
+    def chaincode(self) -> str:
+        return chaincode_for(self.workload)
+
+
+def plan_cohorts(channel_names: typing.Sequence[str],
+                 config: WorkloadConfig,
+                 workload: str = "unique") -> list[CohortSpec]:
+    """Partition the configured population into per-channel cohort specs.
+
+    Users are split as evenly as possible across
+    ``cohorts_per_channel * len(channel_names)`` cohorts (channel-major
+    order, remainder to the earliest cohorts).  A cohort's rate comes from,
+    in priority order: ``population.user_rate`` (rate = users x user_rate),
+    the channel's :class:`~repro.common.config.ChannelWorkload` mix, or an
+    even split of ``arrival_rate`` across channels.
+    """
+    population = config.population
+    if population is None:
+        raise ConfigurationError("plan_cohorts needs workload.population")
+    population.validate()
+    if not channel_names:
+        raise ConfigurationError("population needs at least one channel")
+    per_channel = population.cohorts_per_channel
+    total_cohorts = per_channel * len(channel_names)
+    base_users, remainder = divmod(population.num_users, total_cohorts)
+    specs: list[CohortSpec] = []
+    user_base = 0
+    index = 0
+    for channel in channel_names:
+        mix = (config.per_channel or {}).get(channel)
+        workload_kind = mix.workload if mix is not None else workload
+        tx_size = (mix.tx_size if mix is not None
+                   and mix.tx_size is not None else config.tx_size)
+        key_space = (mix.key_space if mix is not None
+                     and mix.key_space is not None else config.key_space)
+        skew = (mix.skew if mix is not None and mix.skew is not None
+                else config.read_write_conflict_skew)
+        if mix is not None:
+            channel_rate = mix.rate
+        else:
+            channel_rate = config.arrival_rate / len(channel_names)
+        for position in range(per_channel):
+            users = base_users + (1 if index < remainder else 0)
+            if population.user_rate is not None:
+                rate = users * population.user_rate
+            else:
+                rate = channel_rate / per_channel
+            specs.append(CohortSpec(
+                name=f"cohort{index}", channel=channel, users=users,
+                user_base=user_base, rate=rate, workload=workload_kind,
+                tx_size=tx_size, key_space=key_space, skew=skew))
+            user_base += users
+            index += 1
+    return specs
+
+
+@dataclasses.dataclass
+class Cohort:
+    """A planned cohort bound to its submitting client node."""
+
+    spec: CohortSpec
+    client: ClientNode
+    transactions_started: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+class ClientPopulation:
+    """Open-loop load from an aggregated user population.
+
+    Drop-in replacement for the
+    :class:`~repro.client.workload.WorkloadGenerator` driver slot on
+    :class:`~repro.fabric.network.FabricNetwork`: exposes the same
+    ``start(at=...)`` / ``transactions_started`` surface, but generates
+    superposed-Poisson arrivals for millions of virtual users from one
+    kernel process per cohort.
+    """
+
+    def __init__(self, cohorts: list[Cohort],
+                 config: WorkloadConfig) -> None:
+        if not cohorts:
+            raise ConfigurationError("population needs at least one cohort")
+        config.validate()
+        if config.population is None:
+            raise ConfigurationError(
+                "ClientPopulation needs workload.population to be set")
+        self.cohorts = cohorts
+        self.config = config
+        self._processes: list[typing.Any] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def transactions_started(self) -> int:
+        return sum(cohort.transactions_started for cohort in self.cohorts)
+
+    @property
+    def num_users(self) -> int:
+        return sum(cohort.spec.users for cohort in self.cohorts)
+
+    @property
+    def cohort_names(self) -> list[str]:
+        return [cohort.name for cohort in self.cohorts]
+
+    def cohort_named(self, name: str) -> Cohort:
+        for cohort in self.cohorts:
+            if cohort.name == name:
+                return cohort
+        raise ConfigurationError(f"no cohort named {name!r}")
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def start(self, at: float = 0.0) -> None:
+        """Launch one arrival process per non-idle cohort."""
+        for cohort in self.cohorts:
+            if cohort.spec.rate <= 0 or cohort.spec.users <= 0:
+                continue  # idle cohort: no arrival process at all
+            sim = cohort.client.sim
+            self._processes.append(sim.process(
+                self._cohort_loop(cohort, at)))
+
+    def _cohort_loop(self, cohort: Cohort, start_at: float):
+        """Superposed-Poisson arrivals for one cohort's user slice."""
+        spec = cohort.spec
+        client = cohort.client
+        sim = client.sim
+        rng = client.context.rng.stream(f"population.{spec.name}")
+        if start_at > sim.now:
+            yield sim.timeout(max(0.0, start_at - sim.now))
+        end_time = start_at + self.config.duration
+        sequence = 0
+        while True:
+            # Exponential inter-arrival of the superposed stream; drawing
+            # *before* each arrival keeps the process memoryless from the
+            # start (no deterministic arrival spike at t=start_at).
+            yield sim.timeout(rng.expovariate(spec.rate))
+            if sim.now >= end_time:
+                return
+            user = spec.user_base + self._pick_user(spec, rng)
+            function, args = self._next_call(spec, user, rng, sequence)
+            client.invoke(spec.chaincode, function, args,
+                          tx_size=spec.tx_size)
+            cohort.transactions_started += 1
+            sequence += 1
+
+    @staticmethod
+    def _pick_user(spec: CohortSpec, rng) -> int:
+        """Draw the virtual user (cohort-relative) behind one arrival."""
+        if spec.skew > 0:
+            # Zipf-like via inverse-power transform: a hot minority of
+            # users generates most of the traffic.
+            u = max(rng.random(), 1e-9)
+            return int(spec.users * (u ** (1.0 + spec.skew))) % spec.users
+        return rng.randrange(spec.users)
+
+    @staticmethod
+    def _next_call(spec: CohortSpec, user: int, rng,
+                   sequence: int) -> tuple[str, list[str]]:
+        if spec.workload == "unique":
+            key = f"{spec.name}-u{user}-k{sequence}"
+            return "write", [key, "x" * max(1, spec.tx_size)]
+        # Conflict mode: the user's home key inside the bounded key space,
+        # so user-level skew turns directly into key contention.
+        key_index = user % spec.key_space
+        return "update", [f"acct{key_index}", f"u{user}-{sequence}"]

@@ -53,12 +53,17 @@ class ClientNode(NodeBase):
                  endorsement_timeout: float = 3.0,
                  max_resubmits: int = 0,
                  resubmit_backoff: float = 0.25,
-                 resubmit_jitter: float = 0.5) -> None:
+                 resubmit_jitter: float = 0.5,
+                 cohort: str = "") -> None:
         super().__init__(context, identity.name,
                          cores=context.costs.client_threads)
         self.identity = identity
         self.channel = channel
         self.policy = policy
+        #: Cohort tag stamped on every submitted transaction's
+        #: :class:`~repro.metrics.collector.TxRecord` ("" outside
+        #: aggregated-population mode).
+        self.cohort = cohort
         #: Failover lists; index 0 is the preferred endpoint and failures
         #: rotate to the next entry.
         self.anchor_peers = _as_name_list(anchor_peer, "anchor peer")
@@ -143,7 +148,8 @@ class ClientNode(NodeBase):
                             chaincode=chaincode, function=function,
                             args=args, creator=self.name, nonce=nonce,
                             tx_size=tx_size)
-        metrics.tx_submitted(tx_id)
+        metrics.tx_submitted(tx_id, cohort=self.cohort,
+                             channel=self.channel)
         self.submitted += 1
 
         attempts_left = self.max_resubmits

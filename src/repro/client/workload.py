@@ -10,15 +10,43 @@ paper's asynchronous invocation.  Supported workloads:
 - ``conflict`` — read-modify-write over a shared key space with optional
   Zipf-like skew, producing MVCC invalidations (the §V money-transfer-style
   scenario).
+
+With :attr:`~repro.common.config.WorkloadConfig.per_channel` mixes, the
+clients are grouped by the channel they are bound to and each channel runs
+its own rate and transaction shape; a rate of 0 keeps a channel idle (a
+valid configuration — e.g. a standby channel that only receives config
+blocks).  A zero aggregate rate likewise produces a valid idle workload
+instead of a ``ZeroDivisionError``.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import typing
 
 from repro.client.sdk import ClientNode
-from repro.common.config import WorkloadConfig
+from repro.common.config import ChannelWorkload, WorkloadConfig
 from repro.common.errors import ConfigurationError
+
+
+def chaincode_for(workload: str) -> str:
+    """The chaincode each workload shape drives."""
+    return "noop" if workload == "unique" else "kvstore"
+
+
+@dataclasses.dataclass
+class _ClientPlan:
+    """One client's slice of the offered load."""
+
+    client: ClientNode
+    index: int          # stagger index within the sharing group
+    group_size: int     # clients sharing the same rate pool
+    rate: float         # this client's arrival rate (tx/s)
+    workload: str       # "unique" | "conflict"
+    chaincode: str
+    tx_size: int
+    key_space: int
+    skew: float
 
 
 class WorkloadGenerator:
@@ -27,7 +55,10 @@ class WorkloadGenerator:
     def __init__(self, clients: list[ClientNode], config: WorkloadConfig,
                  chaincode: str = "noop", workload: str = "unique") -> None:
         if not clients:
-            raise ConfigurationError("workload needs at least one client")
+            raise ConfigurationError(
+                "workload needs at least one client (num_clients=0 "
+                "builds no load generators; omit num_clients for one "
+                "client per endorsing peer)")
         config.validate()
         if workload not in ("unique", "conflict"):
             raise ConfigurationError(f"unknown workload {workload!r}")
@@ -38,44 +69,102 @@ class WorkloadGenerator:
         self.transactions_started = 0
         self._processes: list[typing.Any] = []
 
-    def start(self, at: float = 0.0) -> None:
-        """Launch one open-loop arrival process per client."""
-        sim = self.clients[0].sim
-        per_client_rate = self.config.arrival_rate / len(self.clients)
-        for index, client in enumerate(self.clients):
-            self._processes.append(sim.process(
-                self._arrival_loop(client, index, per_client_rate, at)))
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
 
-    def _arrival_loop(self, client: ClientNode, index: int, rate: float,
-                      start_at: float):
+    def _plans(self) -> list[_ClientPlan]:
+        """Per-client load plans; empty for a fully idle workload."""
+        if self.config.per_channel is None:
+            return self._uniform_plans()
+        return self._per_channel_plans()
+
+    def _uniform_plans(self) -> list[_ClientPlan]:
+        rate = self.config.arrival_rate
+        if rate == 0:
+            return []  # a valid idle workload: no arrival processes
+        per_client = rate / len(self.clients)
+        return [
+            _ClientPlan(client=client, index=index,
+                        group_size=len(self.clients), rate=per_client,
+                        workload=self.workload, chaincode=self.chaincode,
+                        tx_size=self.config.tx_size,
+                        key_space=self.config.key_space,
+                        skew=self.config.read_write_conflict_skew)
+            for index, client in enumerate(self.clients)]
+
+    def _per_channel_plans(self) -> list[_ClientPlan]:
+        per_channel = typing.cast("dict[str, ChannelWorkload]",
+                                  self.config.per_channel)
+        groups: dict[str, list[ClientNode]] = {}
+        for client in self.clients:
+            groups.setdefault(client.channel, []).append(client)
+        plans: list[_ClientPlan] = []
+        for channel, mix in per_channel.items():
+            group = groups.get(channel, [])
+            if mix.rate == 0:
+                continue  # deliberately idle channel
+            if not group:
+                raise ConfigurationError(
+                    f"channel {channel!r} has rate {mix.rate:g} tx/s but "
+                    "no client is bound to it; raise num_clients so the "
+                    "round-robin reaches it (or set its rate to 0)")
+            per_client = mix.rate / len(group)
+            for index, client in enumerate(group):
+                plans.append(_ClientPlan(
+                    client=client, index=index, group_size=len(group),
+                    rate=per_client, workload=mix.workload,
+                    chaincode=chaincode_for(mix.workload),
+                    tx_size=(mix.tx_size if mix.tx_size is not None
+                             else self.config.tx_size),
+                    key_space=(mix.key_space if mix.key_space is not None
+                               else self.config.key_space),
+                    skew=(mix.skew if mix.skew is not None
+                          else self.config.read_write_conflict_skew)))
+        return plans
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def start(self, at: float = 0.0) -> None:
+        """Launch one open-loop arrival process per loaded client."""
+        sim = self.clients[0].sim
+        for plan in self._plans():
+            self._processes.append(sim.process(
+                self._arrival_loop(plan, at)))
+
+    def _arrival_loop(self, plan: _ClientPlan, start_at: float):
+        client = plan.client
         sim = client.sim
         rng = client.context.rng.stream(f"workload.{client.name}")
         if start_at > sim.now:
             yield sim.timeout(max(0.0, start_at - sim.now))
-        interval = 1.0 / rate
+        interval = 1.0 / plan.rate
         end_time = start_at + self.config.duration
         # Stagger client start phases so aggregate arrivals are smooth.
-        yield sim.timeout(interval * index / len(self.clients))
+        yield sim.timeout(interval * plan.index / plan.group_size)
         sequence = 0
         while sim.now < end_time:
-            function, args = self._next_call(client, rng, sequence)
-            client.invoke(self.chaincode, function, args,
-                          tx_size=self.config.tx_size)
+            function, args = self._next_call(plan, rng, sequence)
+            client.invoke(plan.chaincode, function, args,
+                          tx_size=plan.tx_size)
             self.transactions_started += 1
             sequence += 1
             if self.config.arrival_process == "poisson":
-                yield sim.timeout(rng.expovariate(rate))
+                yield sim.timeout(rng.expovariate(plan.rate))
             else:
                 yield sim.timeout(interval)
 
-    def _next_call(self, client: ClientNode, rng, sequence: int
+    def _next_call(self, plan: _ClientPlan, rng, sequence: int
                    ) -> tuple[str, list[str]]:
-        if self.workload == "unique":
+        client = plan.client
+        if plan.workload == "unique":
             key = f"{client.name}-k{sequence}"
-            return "write", [key, "x" * max(1, self.config.tx_size)]
+            return "write", [key, "x" * max(1, plan.tx_size)]
         # Conflicting read-modify-write over a bounded key space.
-        key_space = self.config.key_space
-        skew = self.config.read_write_conflict_skew
+        key_space = plan.key_space
+        skew = plan.skew
         if skew > 0:
             # Zipf-like via inverse-power transform of a uniform draw.
             u = max(rng.random(), 1e-9)

@@ -79,6 +79,78 @@ class ChannelConfig:
 
 
 @dataclasses.dataclass
+class ChannelWorkload:
+    """Per-channel workload mix: one channel's share of the offered load.
+
+    ``rate`` is the channel's aggregate arrival rate in tx/s; 0 is a valid
+    *idle* channel (joined, ordered, but receiving no traffic).  ``workload``
+    picks the transaction shape ("unique" fresh-key writes or "conflict"
+    read-modify-writes).  ``key_space``/``skew``/``tx_size`` default to the
+    enclosing :class:`WorkloadConfig` values when ``None``.
+    """
+
+    rate: float = 0.0
+    workload: str = "unique"
+    tx_size: int | None = None
+    key_space: int | None = None
+    skew: float | None = None
+
+    def validate(self, channel: str = "?") -> None:
+        if self.rate < 0:
+            raise ConfigurationError(
+                f"channel {channel!r} rate must be >= 0, got {self.rate}")
+        if self.workload not in ("unique", "conflict"):
+            raise ConfigurationError(
+                f"channel {channel!r} has unknown workload "
+                f"{self.workload!r}; expected 'unique' or 'conflict'")
+        if self.tx_size is not None and self.tx_size < 1:
+            raise ConfigurationError(
+                f"channel {channel!r} tx_size must be >= 1")
+        if self.key_space is not None and self.key_space < 1:
+            raise ConfigurationError(
+                f"channel {channel!r} key_space must be >= 1")
+        if self.skew is not None and self.skew < 0:
+            raise ConfigurationError(
+                f"channel {channel!r} skew must be >= 0")
+
+
+@dataclasses.dataclass
+class PopulationConfig:
+    """Aggregated client population: millions of users, O(cohorts) processes.
+
+    Instead of one kernel process (and one simulated SDK machine) per
+    client, the population mode carries ``num_users`` *virtual* users on
+    ``cohorts_per_channel`` cohort processes per channel.  Each cohort
+    generates the superposed open-loop Poisson arrival stream of its user
+    slice (the superposition of N independent Poisson(λ) streams is
+    Poisson(Nλ), so one exponential draw per arrival suffices) and stamps
+    every transaction with the virtual user that issued it.
+
+    ``user_rate`` is the per-user arrival rate in tx/s; when set, a
+    channel's offered load is ``users_on_channel * user_rate`` and
+    overrides both ``WorkloadConfig.arrival_rate`` and per-channel rates.
+    When ``None``, the aggregate rate comes from the per-channel mixes (or
+    an even split of ``arrival_rate``).
+    """
+
+    num_users: int = 0
+    cohorts_per_channel: int = 1
+    user_rate: float | None = None
+
+    def validate(self) -> None:
+        if self.num_users < 1:
+            raise ConfigurationError(
+                f"population num_users must be >= 1, got {self.num_users}")
+        if self.cohorts_per_channel < 1:
+            raise ConfigurationError(
+                "population cohorts_per_channel must be >= 1, got "
+                f"{self.cohorts_per_channel}")
+        if self.user_rate is not None and self.user_rate < 0:
+            raise ConfigurationError(
+                f"population user_rate must be >= 0, got {self.user_rate}")
+
+
+@dataclasses.dataclass
 class WorkloadConfig:
     """Open-loop workload parameters (§IV.A of the paper)."""
 
@@ -103,17 +175,33 @@ class WorkloadConfig:
     cooldown: float = 2.0            # measurement window trim, end
     key_space: int = 10_000          # distinct keys touched by the workload
     read_write_conflict_skew: float = 0.0  # 0 = uniform keys, >0 = zipfian
+    #: Per-channel workload mixes, keyed by channel name.  When set, every
+    #: channel of the topology must be listed (explicit is the point:
+    #: silent starvation of unlisted channels is exactly the bug this
+    #: replaces) and each channel runs its own rate / transaction shape;
+    #: a rate of 0 keeps a channel idle.
+    per_channel: dict[str, ChannelWorkload] | None = None
+    #: Aggregated client-population mode (millions of virtual users on
+    #: O(cohorts) kernel processes).  ``None`` keeps the classic
+    #: one-process-per-client generator.
+    population: PopulationConfig | None = None
 
     def validate(self) -> None:
-        if self.arrival_rate <= 0:
-            raise ConfigurationError("arrival rate must be positive")
+        # Zero is a valid *idle* workload (e.g. a drain-only run, or the
+        # base rate when every channel carries its own per-channel rate);
+        # only negative rates are configuration errors.
+        if self.arrival_rate < 0:
+            raise ConfigurationError(
+                f"arrival rate must be >= 0, got {self.arrival_rate}")
         if self.duration <= 0:
             raise ConfigurationError("duration must be positive")
         if self.arrival_process not in ("uniform", "poisson"):
             raise ConfigurationError(
                 f"unknown arrival process {self.arrival_process!r}")
         if self.num_clients is not None and self.num_clients < 1:
-            raise ConfigurationError("need at least one client")
+            raise ConfigurationError(
+                f"num_clients must be >= 1, got {self.num_clients}; omit "
+                "it (None) to default to one client per endorsing peer")
         if self.ordering_timeout <= 0:
             raise ConfigurationError("ordering timeout must be positive")
         if self.endorsement_timeout <= 0:
@@ -124,9 +212,22 @@ class WorkloadConfig:
             raise ConfigurationError("resubmit backoff must be >= 0")
         if not 0 <= self.resubmit_jitter < 1:
             raise ConfigurationError("resubmit jitter must be in [0, 1)")
+        if self.warmup < 0:
+            raise ConfigurationError(
+                f"warmup must be >= 0, got {self.warmup}")
+        if self.cooldown < 0:
+            raise ConfigurationError(
+                f"cooldown must be >= 0, got {self.cooldown}")
         if self.warmup + self.cooldown >= self.duration:
             raise ConfigurationError(
-                "warmup + cooldown must leave a measurement window")
+                f"warmup ({self.warmup:g}s) + cooldown ({self.cooldown:g}s) "
+                f"must be less than duration ({self.duration:g}s) to leave "
+                "a measurement window")
+        if self.per_channel is not None:
+            for channel, mix in self.per_channel.items():
+                mix.validate(channel)
+        if self.population is not None:
+            self.population.validate()
 
 
 STATEDB_KINDS = ("leveldb", "couchdb")
@@ -191,12 +292,30 @@ class TopologyConfig:
     #: False: every peer opens a deliver stream to an OSN (the paper's
     #: setup).  True: only a leader peer does, and gossips blocks onward.
     gossip: bool = False
+    #: Gossip dissemination fan-out.  0 (the default) keeps the flat
+    #: leader-broadcasts-to-all mode; N > 0 arranges the peers in an
+    #: N-ary relay tree rooted at the leader, so a block reaches P peers
+    #: in O(log_N P) hops with every peer forwarding at most N copies —
+    #: the sane shape for 100+ peer deployments, where a flat fan-out
+    #: serialises P-1 unicasts through the leader's NIC.
+    gossip_fanout: int = 0
 
-    def validate(self) -> None:
+    def validate(self, workload: "WorkloadConfig | None" = None) -> None:
+        """Validate the topology, optionally cross-checked with a workload.
+
+        Passing the :class:`WorkloadConfig` that will drive this topology
+        catches cross-config mistakes a single config cannot see — most
+        importantly silent channel starvation, where fewer clients than
+        channels leaves the round-robin assignment with zero traffic on
+        some channels and no diagnostic at all.
+        """
         if self.num_endorsing_peers < 1:
             raise ConfigurationError("need at least one endorsing peer")
         if self.num_committing_only_peers < 0:
             raise ConfigurationError("committing-only peer count must be >= 0")
+        if self.gossip_fanout < 0:
+            raise ConfigurationError(
+                f"gossip_fanout must be >= 0, got {self.gossip_fanout}")
         self.orderer.validate()
         self.channel.validate()
         self.statedb.validate()
@@ -206,6 +325,39 @@ class TopologyConfig:
             names.append(channel.name)
         if len(set(names)) != len(names):
             raise ConfigurationError(f"duplicate channel names in {names}")
+        if workload is not None:
+            self._validate_workload(workload, names)
+
+    def _validate_workload(self, workload: "WorkloadConfig",
+                           channel_names: list[str]) -> None:
+        if workload.per_channel is not None:
+            unknown = sorted(set(workload.per_channel) - set(channel_names))
+            if unknown:
+                raise ConfigurationError(
+                    f"per_channel workload names unknown channel(s) "
+                    f"{unknown}; topology channels are {channel_names}")
+            missing = [name for name in channel_names
+                       if name not in workload.per_channel]
+            if missing:
+                raise ConfigurationError(
+                    f"per_channel workload must cover every channel; "
+                    f"missing {missing} (use ChannelWorkload(rate=0) for "
+                    "deliberately idle channels)")
+            return
+        if workload.population is not None:
+            return  # population mode places cohorts on every channel
+        # Classic mode: clients round-robin over channels, one channel
+        # each.  Fewer clients than channels starves the surplus channels.
+        clients = (workload.num_clients if workload.num_clients is not None
+                   else self.num_endorsing_peers)
+        if clients < len(channel_names):
+            starved = channel_names[clients:]
+            raise ConfigurationError(
+                f"{clients} client(s) across {len(channel_names)} channels "
+                f"leaves {starved} with zero traffic; raise num_clients to "
+                f">= {len(channel_names)}, or configure an explicit "
+                "per_channel workload mix (rate=0 marks a channel idle on "
+                "purpose)")
 
     @property
     def num_peers(self) -> int:

@@ -281,6 +281,56 @@ def _run_statedb(args) -> int:
     return 0 if ablation.ok else 1
 
 
+def _run_scale(args) -> int:
+    """The ``scale`` subcommand: peers x channels x population sweeps.
+
+    With explicit ``--peers``/``--channels``/``--users``, runs a single
+    point (and prints its per-cohort breakdown); otherwise runs the full
+    or ``--smoke`` sweep grid.  Exits non-zero when a point commits
+    nothing, builds more clients than cohorts, or loses a cohort's
+    metrics — the O(cohorts) contract the subsystem guarantees.
+    """
+    import json
+
+    from repro.experiments.scale import (
+        ScaleSweep,
+        run_scale_point,
+        run_scale_sweep,
+    )
+
+    single = (args.peers is not None or args.channels is not None
+              or args.users is not None)
+    if single:
+        point = run_scale_point(
+            peers=args.peers if args.peers is not None else 100,
+            channels=args.channels if args.channels is not None else 4,
+            users=args.users if args.users is not None else 1_000_000,
+            rate=args.scale_rate,
+            duration=args.scale_duration,
+            cohorts_per_channel=args.cohorts,
+            seed=args.seed)
+        sweep = ScaleSweep(points=[point], mode="point", seed=args.seed)
+        print(sweep.render())
+        print()
+        print(f"{'cohort':<10} {'channel':<8} {'tps':>7}  {'lat_s':>6}")
+        for name in sorted(point.per_cohort):
+            metrics = point.per_cohort[name]
+            channel = point.cohort_channels.get(name, "")
+            print(f"{name:<10} {channel:<8} "
+                  f"{metrics.overall_throughput:>7.1f}  "
+                  f"{metrics.overall_latency:>6.3f}")
+    else:
+        sweep = run_scale_sweep(
+            mode="smoke" if args.smoke else "full", seed=args.seed)
+        print(sweep.render())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(sweep.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"scale sweep written to {args.out}")
+    return 0 if sweep.ok else 1
+
+
 def _run_perfbench(args) -> int:
     """The ``perfbench`` subcommand: wall-clock runs + golden digests."""
     from repro.experiments.perfbench import SMOKE_SCENARIOS, run_perfbench
@@ -334,7 +384,8 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
                         choices=(EXPERIMENT_IDS
                                  + ["all", "trace", "lint",
                                     "check-determinism", "faults",
-                                    "statedb", "perfbench", "obs-diff"]),
+                                    "statedb", "perfbench", "obs-diff",
+                                    "scale"]),
                         help="which artifact to regenerate; 'trace' for an "
                              "observed run with bottleneck attribution, "
                              "critical-path extraction, and the queueing "
@@ -346,7 +397,9 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
                              "fault-injection recovery scenarios; 'statedb' "
                              "for the state-database backend ablation; "
                              "'perfbench' for wall-clock benchmarks of the "
-                             "simulator itself with golden-digest checks")
+                             "simulator itself with golden-digest checks; "
+                             "'scale' for peers x channels x population "
+                             "sweeps with aggregated client cohorts")
     parser.add_argument("--full", action="store_true",
                         help="run the paper-scale sweep (slower)")
     parser.add_argument("--seed", type=int, default=1,
@@ -457,6 +510,32 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     perf_group.add_argument("--update-golden", action="store_true",
                             help="deliberately regenerate the committed "
                                  "golden digests from this run")
+    scale_group = parser.add_argument_group(
+        "scale options",
+        "only used with the 'scale' experiment; --seed, --smoke, and "
+        "--out also apply.  Giving any of --peers/--channels/--users "
+        "runs one point (defaults 100 peers, 4 channels, 1,000,000 "
+        "users) instead of the sweep grid")
+    scale_group.add_argument("--peers", type=int, default=None,
+                             help="total peers (committing-only beyond "
+                                  "the 10-peer endorsing core)")
+    scale_group.add_argument("--channels", type=int, default=None,
+                             help="number of channels (ch1..chN; every "
+                                  "peer joins all of them)")
+    scale_group.add_argument("--users", type=int, default=None,
+                             help="aggregated population size; load is "
+                                  "superposed-Poisson, so kernel cost is "
+                                  "O(cohorts) regardless of this value")
+    scale_group.add_argument("--cohorts", type=int, default=2,
+                             help="cohorts per channel (default 2); each "
+                                  "cohort is one kernel process and one "
+                                  "client node")
+    scale_group.add_argument("--scale-rate", type=float, default=150.0,
+                             help="aggregate offered load in tx/s across "
+                                  "all channels (default 150)")
+    scale_group.add_argument("--scale-duration", type=float, default=8.0,
+                             help="workload duration in simulated seconds "
+                                  "(default 8)")
     diff_group = parser.add_argument_group(
         "obs-diff options", "only used with the 'obs-diff' experiment")
     diff_group.add_argument("--baseline", default=None, metavar="PATH",
@@ -491,6 +570,8 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         return _run_perfbench(args)
     if args.experiment == "obs-diff":
         return _run_obs_diff(args)
+    if args.experiment == "scale":
+        return _run_scale(args)
     if args.experiment == "trace":
         if args.orderer is None:
             args.orderer = "solo"

@@ -66,6 +66,13 @@ class PerfScenario:
     rate: float = 250.0
     duration: float = 15.0
     peers: int = 10
+    #: Channels in the deployment; >1 switches to the scale-out topology
+    #: (committing-only fleet beyond the endorsing core, relay-tree gossip).
+    channels: int = 1
+    #: Aggregated client population; >0 drives the run through
+    #: :class:`~repro.client.population.ClientPopulation` cohorts instead
+    #: of per-client workload generators.
+    population_users: int = 0
 
     def at_scale(self, scale: str) -> "PerfScenario":
         """The scenario at ``"full"`` or scaled-down ``"smoke"`` size.
@@ -73,12 +80,17 @@ class PerfScenario:
         Smoke scale matches the determinism-check defaults (4 peers,
         60 tx/s for 4 simulated seconds): every phase of the pipeline is
         exercised on every backend while a run stays under a second.
+        Population scenarios keep 12 peers at smoke so the scale-out
+        topology (committing-only peers, relay-tree gossip) stays covered;
+        the user count is untouched — population size is O(1) in cost.
         """
         if scale == "full":
             return self
         if scale != "smoke":
             raise ValueError(f"unknown scale {scale!r}")
-        return dataclasses.replace(self, rate=60.0, duration=4.0, peers=4)
+        peers = 12 if self.population_users > 0 else 4
+        return dataclasses.replace(self, rate=60.0, duration=4.0,
+                                   peers=peers)
 
     def statedb_config(self) -> StateDBConfig:
         if self.statedb_kind == "couchdb":
@@ -103,6 +115,12 @@ def _scenario_list() -> list[PerfScenario]:
                      statedb_kind="couchdb"),
         PerfScenario("raft-and-couchdb", "raft", "AND5",
                      statedb_kind="couchdb"),
+        # The scale-out configuration: a committing fleet past the
+        # endorsing core, four channels, and a million-user aggregated
+        # population — the wall-clock proof that population size is a
+        # pure parameter (its cost tracks cohorts and rate, not users).
+        PerfScenario("raft-population-scale", "raft", "OR(1..n)",
+                     peers=60, channels=4, population_users=1_000_000),
     ]
 
 
@@ -115,7 +133,8 @@ REFERENCE_SCENARIO = "solo-and-leveldb"
 #: CI smoke subset: one scaled-down scenario per orderer type, plus the
 #: CouchDB backend so both state databases stay covered.
 SMOKE_SCENARIOS = ["solo-and-leveldb", "raft-and-leveldb",
-                   "kafka-or-leveldb", "solo-and-couchdb"]
+                   "kafka-or-leveldb", "solo-and-couchdb",
+                   "raft-population-scale"]
 
 
 @dataclasses.dataclass
@@ -150,10 +169,21 @@ class PerfResult:
 
 def _build_network(scenario: PerfScenario, seed: int,
                    observe: bool = False) -> FabricNetwork:
-    topology = make_topology(scenario.orderer_kind, scenario.policy,
-                             scenario.peers,
-                             statedb=scenario.statedb_config())
-    workload = make_workload(scenario.rate, scenario.duration)
+    if scenario.population_users > 0:
+        from repro.experiments.scale import (
+            make_scale_topology,
+            make_scale_workload,
+        )
+
+        topology = make_scale_topology(scenario.peers, scenario.channels,
+                                       orderer_kind=scenario.orderer_kind)
+        workload = make_scale_workload(scenario.population_users,
+                                       scenario.rate, scenario.duration)
+    else:
+        topology = make_topology(scenario.orderer_kind, scenario.policy,
+                                 scenario.peers,
+                                 statedb=scenario.statedb_config())
+        workload = make_workload(scenario.rate, scenario.duration)
     # Observed builds disable the sampler: the tracer and monitors are
     # schedule-neutral, the sampler's periodic timeouts are not.
     return FabricNetwork(topology, workload, seed=seed, observe=observe,

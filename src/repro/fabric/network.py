@@ -18,6 +18,7 @@ from repro.chaincode import (
     resolve_policy_spec,
 )
 from repro.chaincode.policy import EndorsementPolicy
+from repro.client.population import ClientPopulation, Cohort, plan_cohorts
 from repro.client.sdk import ClientNode
 from repro.client.workload import WorkloadGenerator
 from repro.common.config import TopologyConfig, WorkloadConfig
@@ -26,6 +27,7 @@ from repro.faults import FaultInjector, FaultSchedule, compute_recovery
 from repro.msp import MSP, CertificateAuthority, Role
 from repro.obs import Observability
 from repro.orderer import OrderingService, build_ordering_service
+from repro.peer.gossip import relay_children
 from repro.peer.peer import PeerNode
 from repro.runtime.context import NetworkContext
 from repro.runtime.costs import CostModel
@@ -45,10 +47,12 @@ class FabricNetwork:
                  observe_sampler: bool = True,
                  sample_interval: float = 0.05,
                  faults: FaultSchedule | None = None) -> None:
-        topology.validate()
         self.topology = topology
         self.workload_config = workload or WorkloadConfig()
         self.workload_config.validate()
+        # Cross-validated: the topology alone cannot see client-vs-channel
+        # starvation or per-channel mixes naming unknown channels.
+        topology.validate(self.workload_config)
         self.context = NetworkContext.create(
             seed=seed, costs=costs,
             latency=topology.network_latency,
@@ -83,7 +87,11 @@ class FabricNetwork:
         self.orderer: OrderingService | None = None
         self.policies: dict[str, EndorsementPolicy] = {}
         self.policy: EndorsementPolicy | None = None
-        self.workload: WorkloadGenerator | None = None
+        self.workload: WorkloadGenerator | ClientPopulation | None = None
+        #: Aggregated client population (set iff ``workload.population``);
+        #: ``self.workload`` aliases it in that mode.
+        self.population: ClientPopulation | None = None
+        self._cohort_specs: list = []
         self._workload_kind = workload_kind
         self._started = False
 
@@ -133,7 +141,13 @@ class FabricNetwork:
                 self.endorsing_peers.append(peer)
         if self.topology.gossip:
             names = [peer.name for peer in self.peers]
-            self.peers[0].gossip.set_neighbours(names)
+            if self.topology.gossip_fanout > 0:
+                children = relay_children(names,
+                                          self.topology.gossip_fanout)
+                for peer in self.peers:
+                    peer.gossip.set_children(children[peer.name])
+            else:
+                self.peers[0].gossip.set_neighbours(names)
 
     def _join_peers_to_channels(self) -> None:
         for peer in self.peers:
@@ -158,40 +172,68 @@ class FabricNetwork:
 
     def _build_clients(self) -> None:
         workload = self.workload_config
+        if workload.population is not None:
+            self._build_cohort_clients()
+            return
         count = workload.num_clients or len(self.endorsing_peers)
-        anchor_names = [peer.name for peer in self.endorsing_peers]
-        osn_names = self.orderer.node_names
         for index in range(count):
-            identity = self.ca.enroll(f"client{index}", Role.CLIENT)
-            # Failover lists: each client starts on its round-robin home
-            # endpoint (preserving the non-fault assignment) and rotates
-            # through the rest when attempts fail.
-            anchors = [anchor_names[(index + k) % len(anchor_names)]
-                       for k in range(len(anchor_names))]
-            orderers = [osn_names[(index + k) % len(osn_names)]
-                        for k in range(len(osn_names))]
             # Clients spread round-robin across channels (one channel each).
             channel = self.channel_names[index % len(self.channel_names)]
-            client = ClientNode(
-                self.context, identity, channel, self.policies[channel],
-                anchor_peer=anchors, orderer=orderers,
-                ordering_timeout=workload.ordering_timeout,
-                endorsement_timeout=workload.endorsement_timeout,
-                max_resubmits=workload.max_resubmits,
-                resubmit_backoff=workload.resubmit_backoff,
-                resubmit_jitter=workload.resubmit_jitter)
-            # Spread the OR round-robin start across clients so target
-            # peers share load evenly in aggregate.
-            client._or_counter = index
-            self.msp.grant_channel_writer(channel, client.name)
-            self.clients.append(client)
+            self.clients.append(
+                self._make_client(f"client{index}", index, channel))
+
+    def _build_cohort_clients(self) -> None:
+        """One submitting client per cohort — O(cohorts), not O(users)."""
+        self._cohort_specs = plan_cohorts(
+            self.channel_names, self.workload_config,
+            workload=self._workload_kind)
+        for index, spec in enumerate(self._cohort_specs):
+            self.clients.append(
+                self._make_client(spec.name, index, spec.channel,
+                                  cohort=spec.name))
+
+    def _make_client(self, name: str, index: int, channel: str,
+                     cohort: str = "") -> ClientNode:
+        workload = self.workload_config
+        anchor_names = [peer.name for peer in self.endorsing_peers]
+        osn_names = self.orderer.node_names
+        identity = self.ca.enroll(name, Role.CLIENT)
+        # Failover lists: each client starts on its round-robin home
+        # endpoint (preserving the non-fault assignment) and rotates
+        # through the rest when attempts fail.
+        anchors = [anchor_names[(index + k) % len(anchor_names)]
+                   for k in range(len(anchor_names))]
+        orderers = [osn_names[(index + k) % len(osn_names)]
+                    for k in range(len(osn_names))]
+        client = ClientNode(
+            self.context, identity, channel, self.policies[channel],
+            anchor_peer=anchors, orderer=orderers,
+            ordering_timeout=workload.ordering_timeout,
+            endorsement_timeout=workload.endorsement_timeout,
+            max_resubmits=workload.max_resubmits,
+            resubmit_backoff=workload.resubmit_backoff,
+            resubmit_jitter=workload.resubmit_jitter,
+            cohort=cohort)
+        # Spread the OR round-robin start across clients so target
+        # peers share load evenly in aggregate.
+        client._or_counter = index
+        self.msp.grant_channel_writer(channel, client.name)
+        return client
 
     def _build_workload(self) -> None:
-        chaincode = ("noop" if self._workload_kind == "unique"
-                     else "kvstore")
-        self.workload = WorkloadGenerator(
-            self.clients, self.workload_config, chaincode=chaincode,
-            workload=self._workload_kind)
+        if self.workload_config.population is not None:
+            cohorts = [Cohort(spec=spec, client=client)
+                       for spec, client in zip(self._cohort_specs,
+                                               self.clients)]
+            self.population = ClientPopulation(cohorts,
+                                               self.workload_config)
+            self.workload = self.population
+        else:
+            chaincode = ("noop" if self._workload_kind == "unique"
+                         else "kvstore")
+            self.workload = WorkloadGenerator(
+                self.clients, self.workload_config, chaincode=chaincode,
+                workload=self._workload_kind)
         if self.obs is not None:
             self._attach_observability()
 
@@ -279,6 +321,30 @@ class FabricNetwork:
                 self.context.metrics.set_counters(
                     f"statedb.{peer.name}.{channel}",
                     ledger.state.stats.as_dict())
+
+    def cohort_metrics(self):
+        """Per-cohort :class:`PhaseMetrics` for the last workload run.
+
+        Only meaningful in population mode (transactions carry cohort
+        tags); raises otherwise, and before any completed run.
+        """
+        window = getattr(self, "last_window", None)
+        if window is None:
+            raise ConfigurationError(
+                "cohort_metrics() needs a completed run_workload() call")
+        if self.population is None:
+            raise ConfigurationError(
+                "cohort_metrics() needs workload.population (the "
+                "aggregated client-population mode)")
+        return self.context.metrics.aggregate_by_cohort(*window)
+
+    def channel_metrics(self):
+        """Per-channel :class:`PhaseMetrics` for the last workload run."""
+        window = getattr(self, "last_window", None)
+        if window is None:
+            raise ConfigurationError(
+                "channel_metrics() needs a completed run_workload() call")
+        return self.context.metrics.aggregate_by_channel(*window)
 
     def statedb_counters(self) -> dict[str, int]:
         """Aggregate state-DB op counters summed across peers/channels."""

@@ -29,6 +29,10 @@ class TxRecord:
     """
 
     tx_id: str
+    #: Submitting cohort ("" outside population mode) and channel — the
+    #: grouping dimensions of per-cohort / per-channel aggregation.
+    cohort: str = ""
+    channel: str = ""
     submitted: float | None = None    # client created the proposal
     endorsed: float | None = None     # all endorsements collected
     broadcast: float | None = None    # envelope sent to the ordering service
@@ -121,7 +125,8 @@ class MetricsCollector:
     def __init__(self, sim: Simulation) -> None:
         self._sim = sim
         self._records: dict[str, TxRecord] = {}
-        self._block_cuts: list[tuple[float, int, str]] = []  # (t, size, osn)
+        # (t, size, osn, channel) per cut block.
+        self._block_cuts: list[tuple[float, int, str, str]] = []
         self._events: list[RuntimeEvent] = []
         # Named counter groups (e.g. one per peer state-DB backend).
         self._counters: dict[str, dict[str, int]] = {}
@@ -137,8 +142,14 @@ class MetricsCollector:
             self._records[tx_id] = record
         return record
 
-    def tx_submitted(self, tx_id: str) -> None:
-        self.record(tx_id).submitted = self._sim.now
+    def tx_submitted(self, tx_id: str, cohort: str = "",
+                     channel: str = "") -> None:
+        record = self.record(tx_id)
+        record.submitted = self._sim.now
+        if cohort:
+            record.cohort = cohort
+        if channel:
+            record.channel = channel
 
     def tx_endorsed(self, tx_id: str) -> None:
         self.record(tx_id).endorsed = self._sim.now
@@ -173,8 +184,8 @@ class MetricsCollector:
             record.rejected = self._sim.now
             record.reject_reason = reason
 
-    def block_cut(self, size: int, orderer: str) -> None:
-        self._block_cuts.append((self._sim.now, size, orderer))
+    def block_cut(self, size: int, orderer: str, channel: str = "") -> None:
+        self._block_cuts.append((self._sim.now, size, orderer, channel))
 
     def runtime_event(self, kind: str, node: str, detail: str = "") -> None:
         """Record a consensus/fault event (leader elections, injections)."""
@@ -199,7 +210,7 @@ class MetricsCollector:
         return self._records
 
     @property
-    def block_cuts(self) -> list[tuple[float, int, str]]:
+    def block_cuts(self) -> list[tuple[float, int, str, str]]:
         return list(self._block_cuts)
 
     @property
@@ -215,12 +226,48 @@ class MetricsCollector:
                    end: float) -> bool:
         return timestamp is not None and start <= timestamp < end
 
-    def aggregate(self, start: float, end: float) -> PhaseMetrics:
-        """Metrics over the window ``[start, end)`` of simulated time."""
+    def cohorts(self) -> list[str]:
+        """Distinct cohort tags seen on submitted transactions, sorted."""
+        return sorted({r.cohort for r in self._records.values() if r.cohort})
+
+    def channels(self) -> list[str]:
+        """Distinct channel tags seen on submitted transactions, sorted."""
+        return sorted({r.channel for r in self._records.values()
+                       if r.channel})
+
+    def aggregate_by_cohort(self, start: float,
+                            end: float) -> dict[str, PhaseMetrics]:
+        """Per-cohort :class:`PhaseMetrics` over ``[start, end)``.
+
+        One entry per cohort tag observed on the run's transactions; the
+        population generator tags every transaction with its submitting
+        cohort, so this is the per-cohort latency/throughput accounting of
+        an aggregated million-user run.
+        """
+        return {cohort: self.aggregate(start, end, cohort=cohort)
+                for cohort in self.cohorts()}
+
+    def aggregate_by_channel(self, start: float,
+                             end: float) -> dict[str, PhaseMetrics]:
+        """Per-channel :class:`PhaseMetrics` over ``[start, end)``."""
+        return {channel: self.aggregate(start, end, channel=channel)
+                for channel in self.channels()}
+
+    def aggregate(self, start: float, end: float, cohort: str | None = None,
+                  channel: str | None = None) -> PhaseMetrics:
+        """Metrics over the window ``[start, end)`` of simulated time.
+
+        ``cohort`` / ``channel`` restrict the aggregation to transactions
+        carrying that tag (and, for ``channel``, to that channel's block
+        stream), giving the per-cohort and per-channel dimensions of a
+        population run without re-recording anything.
+        """
         if end <= start:
             raise ValueError(f"empty window [{start}, {end})")
         window = end - start
-        records = list(self._records.values())
+        records = [r for r in self._records.values()
+                   if (cohort is None or r.cohort == cohort)
+                   and (channel is None or r.channel == channel)]
 
         submitted = sum(
             1 for r in records if self._in_window(r.submitted, start, end))
@@ -261,7 +308,9 @@ class MetricsCollector:
         # streams and halve the apparent block time, so group per OSN and
         # report the busiest one (ties broken by name for determinism).
         cuts_by_osn: dict[str, list[float]] = {}
-        for t, _size, osn in self._block_cuts:
+        for t, _size, osn, cut_channel in self._block_cuts:
+            if channel is not None and cut_channel and cut_channel != channel:
+                continue
             if start <= t < end:
                 cuts_by_osn.setdefault(osn, []).append(t)
         block_time = 0.0

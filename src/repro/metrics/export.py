@@ -17,6 +17,9 @@ from repro.metrics.collector import MetricsCollector, PhaseMetrics
 TRACE_FIELDS = [
     "tx_id", "submitted", "endorsed", "broadcast", "ordered", "validated",
     "committed", "rejected", "reject_reason", "validation_code",
+    # Appended population dimensions (existing consumers indexing the
+    # earlier columns keep working).
+    "cohort", "channel",
 ]
 
 
@@ -39,6 +42,8 @@ def trace_rows(collector: MetricsCollector) -> list[dict[str, typing.Any]]:
             "reject_reason": record.reject_reason,
             "validation_code": (record.validation_code.name
                                 if record.validation_code else None),
+            "cohort": record.cohort,
+            "channel": record.channel,
         })
     return rows
 
@@ -63,18 +68,41 @@ def metrics_to_json(metrics: PhaseMetrics) -> str:
     return json.dumps(metrics.as_dict(), indent=1, sort_keys=True)
 
 
-def metrics_to_csv(metrics: PhaseMetrics) -> str:
+def metrics_to_csv(metrics: PhaseMetrics, cohort: str | None = None) -> str:
     """Windowed aggregates as a one-row CSV.
 
     Columns follow :class:`PhaseMetrics` field order, so new fields appended
     to the dataclass append columns here — existing consumers that index
-    early columns keep working.
+    early columns keep working.  ``cohort`` labels the row with a leading
+    ``cohort`` column (for per-cohort exports of a population run); the
+    default output is unchanged when it is omitted.
     """
     row = metrics.as_dict()
+    if cohort is not None:
+        row = {"cohort": cohort, **row}
     buffer = io.StringIO()
     writer = csv.DictWriter(buffer, fieldnames=list(row))
     writer.writeheader()
     writer.writerow(row)
+    return buffer.getvalue()
+
+
+def cohort_metrics_to_csv(per_cohort: typing.Mapping[str, PhaseMetrics]
+                          ) -> str:
+    """Per-cohort aggregates as CSV, one labelled row per cohort.
+
+    The row order follows sorted cohort names so exports are deterministic
+    regardless of dict insertion order.
+    """
+    if not per_cohort:
+        raise ValueError("no cohorts to export")
+    names = sorted(per_cohort)
+    fieldnames = ["cohort"] + list(per_cohort[names[0]].as_dict())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    for name in names:
+        writer.writerow({"cohort": name, **per_cohort[name].as_dict()})
     return buffer.getvalue()
 
 

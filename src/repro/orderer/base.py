@@ -232,7 +232,8 @@ class OrderingServiceNode(NodeBase):
     def _record_cut(self, block: Block) -> None:
         if not self.metrics_leader:
             return
-        self.context.metrics.block_cut(len(block), self.name)
+        self.context.metrics.block_cut(len(block), self.name,
+                                       channel=block.channel)
         for envelope in block.transactions:
             self.context.metrics.tx_ordered(envelope.tx_id)
 

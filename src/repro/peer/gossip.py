@@ -5,6 +5,16 @@ service and gossips them to the other peers.  The simulation supports both
 modes: direct deliver (every peer subscribes to an OSN — the paper's setup,
 where block propagation cost is carried by the orderer links) and gossip
 (only the leader peer subscribes and forwards).
+
+Gossip itself comes in two shapes:
+
+- **flat** (the default, ``gossip_fanout=0``): the leader unicasts every
+  block to every other peer.  Faithful to small deployments, but at 100+
+  peers it serialises P-1 copies of each block through the leader's NIC;
+- **relay tree** (``gossip_fanout=N``): peers form an N-ary tree rooted at
+  the leader and every peer forwards each fresh block to at most N
+  children, so dissemination is O(log_N P) hops with per-node egress
+  bounded by N — the sane fan-out for scale-out topologies.
 """
 
 from __future__ import annotations
@@ -17,6 +27,22 @@ if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.peer.peer import PeerNode
 
 
+def relay_children(names: list[str], fanout: int) -> dict[str, list[str]]:
+    """Assign each peer its children in an N-ary relay tree.
+
+    ``names[0]`` is the root (the leader peer); node ``i``'s children are
+    nodes ``i*fanout + 1 .. i*fanout + fanout`` in list order — the classic
+    implicit-heap layout, deterministic for a deterministic name order.
+    """
+    if fanout < 1:
+        raise ValueError(f"relay fanout must be >= 1, got {fanout}")
+    children: dict[str, list[str]] = {}
+    for index, name in enumerate(names):
+        first = index * fanout + 1
+        children[name] = names[first:first + fanout]
+    return children
+
+
 class GossipService:
     """Forwards received blocks to peer neighbours (leader-peer mode)."""
 
@@ -24,20 +50,37 @@ class GossipService:
         self._peer = peer
         self.is_leader = is_leader
         self.neighbours: list[str] = []
+        #: Relay-tree children; non-empty switches this peer to tree mode
+        #: (forward each fresh block to the children, whether it arrived
+        #: from the orderer or from the parent peer).
+        self.children: list[str] = []
         self.blocks_forwarded = 0
 
     def set_neighbours(self, names: list[str]) -> None:
         self.neighbours = [name for name in names if name != self._peer.name]
 
+    def set_children(self, names: list[str]) -> None:
+        self.children = [name for name in names if name != self._peer.name]
+
     def on_block(self, block: Block, from_orderer: bool) -> None:
-        """Forward a block to neighbours if we lead and it came fresh."""
-        if self.is_leader and from_orderer:
-            for neighbour in self.neighbours:
-                self._peer.send(neighbour, "gossip_block", block,
-                                size=block.wire_size())
-            self.blocks_forwarded += len(self.neighbours)
-            if self.neighbours:
-                self._peer.tracer.instant(
-                    "gossip.forward", category="gossip",
-                    node=self._peer.name, block=block.number,
-                    fanout=len(self.neighbours))
+        """Forward a block onward if this peer carries dissemination duty."""
+        if self.children:
+            # Relay tree: the leader injects orderer blocks, every relay
+            # (including the leader) forwards to its children exactly once
+            # — the tree has no cycles, so one receipt means one forward.
+            if from_orderer and not self.is_leader:
+                return
+            self._forward(block, self.children)
+        elif self.is_leader and from_orderer:
+            self._forward(block, self.neighbours)
+
+    def _forward(self, block: Block, targets: list[str]) -> None:
+        for target in targets:
+            self._peer.send(target, "gossip_block", block,
+                            size=block.wire_size())
+        self.blocks_forwarded += len(targets)
+        if targets:
+            self._peer.tracer.instant(
+                "gossip.forward", category="gossip",
+                node=self._peer.name, block=block.number,
+                fanout=len(targets))

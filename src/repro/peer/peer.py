@@ -215,7 +215,12 @@ class PeerNode(NodeBase):
         yield  # pragma: no cover
 
     def _handle_gossip_block(self, message):
-        self._accept_block(message.payload)
+        block: Block = message.payload
+        # Relay-tree mode forwards gossiped blocks onward to this peer's
+        # children; flat mode makes this a no-op (only the leader forwards,
+        # and only blocks fresh from the orderer).
+        self.gossip.on_block(block, from_orderer=False)
+        self._accept_block(block)
         return
         yield  # pragma: no cover
 

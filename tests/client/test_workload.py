@@ -98,3 +98,106 @@ def test_different_seeds_differ_slightly():
     first = build(seed=21, process="poisson").run_workload()
     second = build(seed=22, process="poisson").run_workload()
     assert first.overall_latency != second.overall_latency
+
+
+# ----------------------------------------------------------------------
+# Edge cases: idle workloads and zero-client configs
+# ----------------------------------------------------------------------
+
+def test_zero_rate_is_a_valid_idle_workload():
+    network = build(rate=0, duration=6)
+    metrics = network.run_workload()
+    assert network.workload.transactions_started == 0
+    assert metrics.overall_throughput == 0
+    assert metrics.submitted_rate == 0
+
+
+def test_zero_clients_raise_a_clear_error():
+    with pytest.raises(ConfigurationError) as excinfo:
+        WorkloadConfig(num_clients=0).validate()
+    assert "num_clients" in str(excinfo.value)
+    assert "omit" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# Per-channel workload mixes
+# ----------------------------------------------------------------------
+
+def build_two_channels(per_channel, num_clients=4, duration=6, seed=13):
+    topology = TopologyConfig(
+        num_endorsing_peers=2,
+        channel=ChannelConfig(name="hot", endorsement_policy="OR(1..n)"),
+        extra_channels=[ChannelConfig(name="cold",
+                                      endorsement_policy="OR(1..n)")],
+        orderer=OrdererConfig(kind="solo"))
+    workload = WorkloadConfig(arrival_rate=0, duration=duration,
+                              warmup=1, cooldown=1,
+                              num_clients=num_clients,
+                              per_channel=per_channel)
+    return FabricNetwork(topology, workload, seed=seed)
+
+
+def test_per_channel_rates_are_independent():
+    from repro.common.config import ChannelWorkload
+
+    network = build_two_channels({
+        "hot": ChannelWorkload(rate=60),
+        "cold": ChannelWorkload(rate=10),
+    })
+    network.run_workload()
+    per_channel = network.channel_metrics()
+    assert per_channel["hot"].overall_throughput == pytest.approx(
+        60, rel=0.25)
+    assert per_channel["cold"].overall_throughput == pytest.approx(
+        10, rel=0.45)
+
+
+def test_per_channel_idle_channel_stays_quiet():
+    from repro.common.config import ChannelWorkload
+
+    network = build_two_channels({
+        "hot": ChannelWorkload(rate=40),
+        "cold": ChannelWorkload(rate=0),
+    })
+    network.run_workload()
+    per_channel = network.channel_metrics()
+    assert "cold" not in per_channel  # no transactions ever tagged cold
+    assert per_channel["hot"].overall_throughput > 0
+
+
+def test_per_channel_mix_can_differ_in_shape():
+    from repro.common.config import ChannelWorkload
+
+    network = build_two_channels({
+        "hot": ChannelWorkload(rate=50, workload="conflict", key_space=5),
+        "cold": ChannelWorkload(rate=50, workload="unique"),
+    })
+    network.run_workload()
+    per_channel = network.channel_metrics()
+    assert per_channel["hot"].invalid_rate > 0
+    assert per_channel["cold"].invalid_rate == 0
+
+
+def test_loaded_channel_without_clients_is_rejected():
+    from repro.common.config import ChannelWorkload
+
+    # Two clients round-robin onto two channels; a third channel with a
+    # positive rate has nobody to drive it.
+    topology = TopologyConfig(
+        num_endorsing_peers=2,
+        channel=ChannelConfig(name="a", endorsement_policy="OR(1..n)"),
+        extra_channels=[
+            ChannelConfig(name="b", endorsement_policy="OR(1..n)"),
+            ChannelConfig(name="c", endorsement_policy="OR(1..n)")],
+        orderer=OrdererConfig(kind="solo"))
+    workload = WorkloadConfig(arrival_rate=0, num_clients=3,
+                              per_channel={
+                                  "a": ChannelWorkload(rate=10),
+                                  "b": ChannelWorkload(rate=10),
+                                  "c": ChannelWorkload(rate=10)})
+    network = FabricNetwork(topology, workload, seed=1)
+    # Strand channel c by retargeting its client, then ask for plans.
+    network.clients[2].channel = "a"
+    with pytest.raises(ConfigurationError) as excinfo:
+        network.workload.start()
+    assert "'c'" in str(excinfo.value)

@@ -63,9 +63,12 @@ def test_batch_timeout_must_be_positive():
         OrdererConfig(batch_timeout=0).validate()
 
 
-def test_workload_rate_positive():
+def test_workload_rate_zero_is_valid_idle():
+    # Zero rate is a valid idle workload (e.g. a standby channel or a
+    # drain-only run); only negative rates are configuration errors.
+    WorkloadConfig(arrival_rate=0).validate()
     with pytest.raises(ConfigurationError):
-        WorkloadConfig(arrival_rate=0).validate()
+        WorkloadConfig(arrival_rate=-1).validate()
 
 
 def test_workload_window_must_remain():
@@ -95,3 +98,111 @@ def test_num_peers_sums_endorsing_and_committing():
     topology = TopologyConfig(num_endorsing_peers=3,
                               num_committing_only_peers=2)
     assert topology.num_peers == 5
+
+
+def test_workload_window_error_names_all_three_fields():
+    with pytest.raises(ConfigurationError) as excinfo:
+        WorkloadConfig(duration=10, warmup=6, cooldown=4).validate()
+    message = str(excinfo.value)
+    assert "warmup" in message
+    assert "cooldown" in message
+    assert "duration" in message
+    assert "6" in message and "4" in message and "10" in message
+
+
+def test_workload_negative_warmup_and_cooldown_rejected():
+    with pytest.raises(ConfigurationError):
+        WorkloadConfig(warmup=-1).validate()
+    with pytest.raises(ConfigurationError):
+        WorkloadConfig(cooldown=-0.5).validate()
+
+
+def test_channel_workload_mix_validation():
+    from repro.common.config import ChannelWorkload
+
+    ChannelWorkload(rate=0).validate("idle")
+    ChannelWorkload(rate=5, workload="conflict", tx_size=64,
+                    key_space=10, skew=1.0).validate("busy")
+    with pytest.raises(ConfigurationError):
+        ChannelWorkload(rate=-1).validate("bad")
+    with pytest.raises(ConfigurationError):
+        ChannelWorkload(workload="chaos").validate("bad")
+    with pytest.raises(ConfigurationError):
+        ChannelWorkload(tx_size=0).validate("bad")
+    with pytest.raises(ConfigurationError):
+        ChannelWorkload(key_space=0).validate("bad")
+    with pytest.raises(ConfigurationError):
+        ChannelWorkload(skew=-0.1).validate("bad")
+
+
+def test_population_config_validation():
+    from repro.common.config import PopulationConfig
+
+    PopulationConfig(num_users=1).validate()
+    PopulationConfig(num_users=1_000_000, cohorts_per_channel=8,
+                     user_rate=0.001).validate()
+    with pytest.raises(ConfigurationError):
+        PopulationConfig(num_users=0).validate()
+    with pytest.raises(ConfigurationError):
+        PopulationConfig(num_users=10, cohorts_per_channel=0).validate()
+    with pytest.raises(ConfigurationError):
+        PopulationConfig(num_users=10, user_rate=-1).validate()
+
+
+def test_starved_channels_are_rejected_with_names():
+    from repro.common.config import ChannelConfig
+
+    topology = TopologyConfig(
+        channel=ChannelConfig(name="a"),
+        extra_channels=[ChannelConfig(name="b"), ChannelConfig(name="c")])
+    workload = WorkloadConfig(num_clients=2)
+    with pytest.raises(ConfigurationError) as excinfo:
+        topology.validate(workload)
+    message = str(excinfo.value)
+    assert "'c'" in message  # the starved channel is named
+
+
+def test_per_channel_mix_must_cover_every_channel():
+    from repro.common.config import ChannelConfig, ChannelWorkload
+
+    topology = TopologyConfig(
+        channel=ChannelConfig(name="a"),
+        extra_channels=[ChannelConfig(name="b")])
+    workload = WorkloadConfig(
+        num_clients=2, per_channel={"a": ChannelWorkload(rate=10)})
+    with pytest.raises(ConfigurationError) as excinfo:
+        topology.validate(workload)
+    assert "'b'" in str(excinfo.value)
+    assert "rate=0" in str(excinfo.value)
+
+
+def test_per_channel_mix_rejects_unknown_channels():
+    from repro.common.config import ChannelConfig, ChannelWorkload
+
+    topology = TopologyConfig(channel=ChannelConfig(name="a"))
+    workload = WorkloadConfig(
+        num_clients=1,
+        per_channel={"a": ChannelWorkload(rate=10),
+                     "ghost": ChannelWorkload(rate=10)})
+    with pytest.raises(ConfigurationError) as excinfo:
+        topology.validate(workload)
+    assert "ghost" in str(excinfo.value)
+
+
+def test_population_mode_skips_starvation_check():
+    from repro.common.config import ChannelConfig, PopulationConfig
+
+    # Cohort clients are created per cohort, not via num_clients, so a
+    # small num_clients must not trip the starvation check.
+    topology = TopologyConfig(
+        channel=ChannelConfig(name="a"),
+        extra_channels=[ChannelConfig(name="b")])
+    workload = WorkloadConfig(
+        num_clients=1, population=PopulationConfig(num_users=100))
+    topology.validate(workload)
+
+
+def test_gossip_fanout_validation():
+    TopologyConfig(gossip=True, gossip_fanout=4).validate()
+    with pytest.raises(ConfigurationError):
+        TopologyConfig(gossip_fanout=-1).validate()

@@ -210,3 +210,81 @@ def test_latency_percentiles_zero_without_samples():
     metrics = collector.aggregate(0.0, 10.0)
     assert metrics.overall_latency_p50 == 0.0
     assert metrics.overall_latency_p99 == 0.0
+
+
+def tagged_lifecycle(collector, sim, tx_id, commit_time, cohort, channel,
+                     code=ValidationCode.VALID):
+    at(sim, commit_time - 0.9)
+    collector.tx_submitted(tx_id, cohort=cohort, channel=channel)
+    at(sim, commit_time - 0.6)
+    collector.tx_endorsed(tx_id)
+    collector.tx_broadcast(tx_id)
+    at(sim, commit_time - 0.3)
+    collector.tx_ordered(tx_id)
+    at(sim, commit_time)
+    collector.tx_validated(tx_id, code)
+    collector.tx_committed(tx_id)
+
+
+def make_tagged_collector():
+    sim = Simulation()
+    collector = MetricsCollector(sim)
+    tagged_lifecycle(collector, sim, "a1", 1.0, "cohort0", "alpha")
+    tagged_lifecycle(collector, sim, "a2", 2.0, "cohort0", "alpha")
+    tagged_lifecycle(collector, sim, "b1", 3.0, "cohort1", "beta",
+                     code=ValidationCode.MVCC_READ_CONFLICT)
+    tagged_lifecycle(collector, sim, "b2", 4.0, "cohort1", "beta")
+    return sim, collector
+
+
+def test_aggregate_filters_by_cohort():
+    _sim, collector = make_tagged_collector()
+    all_metrics = collector.aggregate(0, 10)
+    cohort0 = collector.aggregate(0, 10, cohort="cohort0")
+    cohort1 = collector.aggregate(0, 10, cohort="cohort1")
+    assert all_metrics.overall_throughput == pytest.approx(0.3)
+    assert cohort0.overall_throughput == pytest.approx(0.2)
+    assert cohort1.overall_throughput == pytest.approx(0.1)
+    assert cohort1.invalid_rate == pytest.approx(0.1)
+
+
+def test_aggregate_filters_by_channel():
+    _sim, collector = make_tagged_collector()
+    alpha = collector.aggregate(0, 10, channel="alpha")
+    beta = collector.aggregate(0, 10, channel="beta")
+    assert alpha.overall_throughput == pytest.approx(0.2)
+    assert beta.invalid_rate == pytest.approx(0.1)
+
+
+def test_aggregate_by_cohort_and_channel_enumerate_tags():
+    _sim, collector = make_tagged_collector()
+    assert collector.cohorts() == ["cohort0", "cohort1"]
+    assert collector.channels() == ["alpha", "beta"]
+    per_cohort = collector.aggregate_by_cohort(0, 10)
+    per_channel = collector.aggregate_by_channel(0, 10)
+    assert sorted(per_cohort) == ["cohort0", "cohort1"]
+    assert sorted(per_channel) == ["alpha", "beta"]
+    assert per_cohort["cohort0"].overall_throughput == pytest.approx(0.2)
+    assert per_channel["beta"].overall_throughput == pytest.approx(0.1)
+
+
+def test_untagged_records_have_no_cohort_dimension():
+    sim = Simulation()
+    collector = MetricsCollector(sim)
+    full_lifecycle(collector, sim, "t", 0.1, 0.2, 0.3, 0.4)
+    assert collector.cohorts() == []
+    assert collector.aggregate_by_cohort(0, 10) == {}
+
+
+def test_block_time_filters_by_channel():
+    sim = Simulation()
+    collector = MetricsCollector(sim)
+    cuts = [(1.0, "alpha"), (1.5, "beta"), (2.0, "alpha"),
+            (3.0, "alpha"), (5.5, "beta")]
+    for t, channel in cuts:
+        at(sim, t)
+        collector.block_cut(100, "osn0", channel=channel)
+    alpha = collector.aggregate(0, 10, channel="alpha")
+    beta = collector.aggregate(0, 10, channel="beta")
+    assert alpha.block_time == pytest.approx(1.0)
+    assert beta.block_time == pytest.approx(4.0)

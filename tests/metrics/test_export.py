@@ -171,3 +171,45 @@ def test_set_counters_overwrites_and_copies():
     assert collector.counters["g"] == {"reads": 2}
     collector.counters["g"]["reads"] = 5   # nor mutation of the view
     assert collector.counters["g"] == {"reads": 2}
+
+
+def make_tagged():
+    from tests.metrics.test_collector import make_tagged_collector
+
+    return make_tagged_collector()
+
+
+def test_trace_rows_carry_cohort_and_channel():
+    _sim, collector = make_tagged()
+    rows = list(csv.DictReader(io.StringIO(traces_to_csv(collector))))
+    assert rows[0]["cohort"] == "cohort0"
+    assert rows[0]["channel"] == "alpha"
+    assert rows[2]["cohort"] == "cohort1"
+    assert rows[2]["channel"] == "beta"
+    # Untagged collectors export empty tags, not missing columns.
+    _sim2, untagged = make_collector()
+    rows = list(csv.DictReader(io.StringIO(traces_to_csv(untagged))))
+    assert rows[0]["cohort"] == ""
+    assert rows[0]["channel"] == ""
+
+
+def test_metrics_to_csv_optionally_prepends_cohort():
+    _sim, collector = make_tagged()
+    metrics = collector.aggregate(0, 10, cohort="cohort0")
+    text = metrics_to_csv(metrics, cohort="cohort0")
+    (row,) = list(csv.DictReader(io.StringIO(text)))
+    assert row["cohort"] == "cohort0"
+    assert float(row["overall_throughput"]) == pytest.approx(0.2)
+    assert text.splitlines()[0].startswith("cohort,window")
+
+
+def test_cohort_metrics_to_csv_one_row_per_cohort():
+    from repro.metrics.export import cohort_metrics_to_csv
+
+    _sim, collector = make_tagged()
+    text = cohort_metrics_to_csv(collector.aggregate_by_cohort(0, 10))
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert [row["cohort"] for row in rows] == ["cohort0", "cohort1"]
+    assert float(rows[1]["invalid_rate"]) == pytest.approx(0.1)
+    with pytest.raises(ValueError):
+        cohort_metrics_to_csv({})

@@ -134,4 +134,4 @@ def test_throughput_counting_via_metrics():
     drive(service, context, envelopes, client)
     cuts = context.metrics.block_cuts
     assert len(cuts) == 3
-    assert all(size == 10 for _t, size, _osn in cuts)
+    assert all(size == 10 for _t, size, _osn, _channel in cuts)

@@ -67,3 +67,73 @@ def test_set_neighbours_excludes_self():
     peer = rig.peers[0]
     peer.gossip.set_neighbours(["peer0", "peer1"])
     assert peer.gossip.neighbours == ["peer1"]
+
+
+# ----------------------------------------------------------------------
+# Relay-tree gossip (gossip_fanout=N scale-out mode)
+# ----------------------------------------------------------------------
+
+def test_relay_children_implicit_heap_layout():
+    import pytest
+
+    from repro.peer.gossip import relay_children
+
+    names = [f"p{i}" for i in range(7)]
+    children = relay_children(names, fanout=2)
+    assert children["p0"] == ["p1", "p2"]
+    assert children["p1"] == ["p3", "p4"]
+    assert children["p2"] == ["p5", "p6"]
+    assert children["p3"] == []
+    with pytest.raises(ValueError):
+        relay_children(names, fanout=0)
+
+
+def test_relay_tree_reaches_every_peer_with_bounded_fanout():
+    from repro.peer.gossip import relay_children
+    from repro.sim.network import Message
+
+    fanout = 2
+    rig = PeerRig(num_peers=7)
+    names = [peer.name for peer in rig.peers]
+    children = relay_children(names, fanout)
+    leader = rig.peers[0]
+    leader.gossip.is_leader = True
+    for peer in rig.peers:
+        peer.gossip.set_children(children[peer.name])
+    envelope = rig.make_envelope("t1", write_rwset("k"), [rig.peers[0]])
+    block = make_signed_block(rig, leader, [envelope])
+    rig.context.network.add_node("osn0")
+    rig.context.network.send(
+        Message("osn0", leader.name, "block", block,
+                size=block.wire_size()))
+    rig.sim.run()
+    for peer in rig.peers:
+        assert peer.ledger.height == 2, peer.name
+        # Each node forwards to at most `fanout` children — dissemination
+        # load is spread down the tree, not serialised at the leader.
+        assert peer.gossip.blocks_forwarded <= fanout
+    total = sum(peer.gossip.blocks_forwarded for peer in rig.peers)
+    assert total == len(rig.peers) - 1  # each non-root receives once
+
+
+def test_relay_follower_ignores_direct_orderer_blocks():
+    # In tree mode only the leader injects orderer deliveries; a stray
+    # orderer send to a mid-tree relay must not double-disseminate.
+    from repro.peer.gossip import relay_children
+    from repro.sim.network import Message
+
+    rig = PeerRig(num_peers=3)
+    names = [peer.name for peer in rig.peers]
+    children = relay_children(names, fanout=2)
+    for peer in rig.peers:
+        peer.gossip.set_children(children[peer.name])
+    follower = rig.peers[1]
+    envelope = rig.make_envelope("t1", write_rwset("k"), [rig.peers[0]])
+    block = make_signed_block(rig, follower, [envelope])
+    rig.context.network.add_node("osn0")
+    rig.context.network.send(
+        Message("osn0", follower.name, "block", block,
+                size=block.wire_size()))
+    rig.sim.run()
+    assert follower.gossip.blocks_forwarded == 0
+    assert follower.ledger.height == 2  # it still commits locally
