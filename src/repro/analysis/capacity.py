@@ -15,8 +15,11 @@ The pipeline saturates at the minimum of its stage capacities:
 from __future__ import annotations
 
 import dataclasses
+import math
 
+from repro.analysis.workload import resolve_demands
 from repro.chaincode.policy import EndorsementPolicy
+from repro.common.config import TopologyConfig, WorkloadConfig
 from repro.runtime.costs import CostModel
 
 
@@ -100,3 +103,66 @@ class CapacityModel:
             execute=self.execute_capacity(policy, num_peers),
             order=self.order_capacity(),
             validate=self.validate_capacity(policy))
+
+
+def deployment_capacities(
+        topology: TopologyConfig, workload: WorkloadConfig,
+        costs: CostModel | None = None,
+        workload_kind: str = "unique") -> dict[str, PhaseCapacities]:
+    """Per-channel phase capacities for a full deployment config.
+
+    Resolves the workload the way the simulator does — classic
+    round-robin clients, explicit per-channel mixes, or aggregated client
+    populations — so each channel's client pool, endorsement policy, and
+    endorsement count are the ones its traffic actually sees.  Capacities
+    are per channel in isolation; cross-channel resource sharing is
+    :func:`deployment_system_capacity`'s (and, in full, the stochastic
+    phase model's) concern.
+    """
+    model = CapacityModel(costs if costs is not None else CostModel(),
+                          batch_size=topology.orderer.batch_size)
+    return {
+        demand.channel: model.capacities(
+            demand.policy, topology.num_endorsing_peers,
+            num_clients=demand.clients)
+        for demand in resolve_demands(topology, workload, workload_kind)}
+
+
+def deployment_system_capacity(
+        topology: TopologyConfig, workload: WorkloadConfig,
+        costs: CostModel | None = None,
+        workload_kind: str = "unique") -> PhaseCapacities:
+    """Aggregate saturation rates with channel traffic shares held fixed.
+
+    Per-channel stages (clients, the per-channel validate pipelines)
+    saturate when the busiest channel's share does; shared stages pool:
+    endorsing peers serve every channel, so execute capacity is the
+    harmonic combination of the per-channel rates, and the ordering
+    service handles the total envelope stream.  First-moment only — the
+    stochastic phase model refines this with the shared peer CPU, disk,
+    and state-DB stations.
+    """
+    demands = resolve_demands(topology, workload, workload_kind)
+    model = CapacityModel(costs if costs is not None else CostModel(),
+                          batch_size=topology.orderer.batch_size)
+    total = sum(demand.rate for demand in demands)
+    active = [demand for demand in demands if demand.rate > 0]
+    if total <= 0 or not active:
+        inf = math.inf
+        return PhaseCapacities(client=inf, execute=inf,
+                               order=model.order_capacity(), validate=inf)
+    client = math.inf
+    validate = math.inf
+    execute_load = 0.0  # endorser-pool utilization per unit offered load
+    for demand in active:
+        share = demand.rate / total
+        per_channel = model.capacities(
+            demand.policy, topology.num_endorsing_peers,
+            num_clients=demand.clients)
+        client = min(client, per_channel.client / share)
+        validate = min(validate, per_channel.validate / share)
+        if per_channel.execute > 0:
+            execute_load += share / per_channel.execute
+    execute = 1.0 / execute_load if execute_load > 0 else math.inf
+    return PhaseCapacities(client=client, execute=execute,
+                           order=model.order_capacity(), validate=validate)

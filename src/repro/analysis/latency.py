@@ -22,6 +22,8 @@ from __future__ import annotations
 import dataclasses
 
 from repro.analysis.queueing import mm1_wait
+from repro.analysis.workload import resolve_demands
+from repro.common.config import TopologyConfig, WorkloadConfig
 from repro.runtime.costs import CostModel
 
 
@@ -107,3 +109,53 @@ class LatencyModel:
             execute=self.execute_latency(rate, num_clients, endorsements),
             order=self.order_latency(rate),
             validate=self.validate_latency(rate, endorsements))
+
+
+def deployment_breakdowns(
+        topology: TopologyConfig, workload: WorkloadConfig,
+        costs: CostModel | None = None,
+        workload_kind: str = "unique") -> dict[str, LatencyBreakdown]:
+    """Per-channel latency breakdowns for a full deployment config.
+
+    Resolves per-channel arrival rates, client pools, and endorsement
+    counts the way the simulator does (classic round-robin, per-channel
+    mixes, or aggregated client populations), then evaluates the model
+    channel by channel — each channel cuts its own blocks, so formation
+    waits and block sizes differ when the traffic mix does.
+    """
+    model = LatencyModel(
+        costs if costs is not None else CostModel(),
+        batch_size=topology.orderer.batch_size,
+        batch_timeout=topology.orderer.batch_timeout,
+        network_latency=topology.network_latency)
+    return {
+        demand.channel: model.breakdown(demand.rate, demand.clients,
+                                        demand.endorsements)
+        for demand in resolve_demands(topology, workload, workload_kind)}
+
+
+def deployment_breakdown(
+        topology: TopologyConfig, workload: WorkloadConfig,
+        costs: CostModel | None = None,
+        workload_kind: str = "unique") -> LatencyBreakdown:
+    """The rate-weighted aggregate of :func:`deployment_breakdowns`.
+
+    What a deployment-wide latency measurement mixes together: each
+    channel's breakdown weighted by its share of the committed traffic.
+    Idle channels contribute nothing (their latency is never sampled).
+    """
+    demands = resolve_demands(topology, workload, workload_kind)
+    per_channel = deployment_breakdowns(topology, workload, costs,
+                                        workload_kind)
+    total = sum(demand.rate for demand in demands)
+    if total <= 0:
+        return LatencyBreakdown(execute=0.0, order=0.0, validate=0.0)
+    execute = order = validate = 0.0
+    for demand in demands:
+        weight = demand.rate / total
+        breakdown = per_channel[demand.channel]
+        execute += weight * breakdown.execute
+        order += weight * breakdown.order
+        validate += weight * breakdown.validate
+    return LatencyBreakdown(execute=execute, order=order,
+                            validate=validate)

@@ -1,0 +1,115 @@
+"""Workload structure as the analytic models see it.
+
+The simulator resolves a :class:`~repro.common.config.WorkloadConfig` into
+concrete arrival streams three different ways — classic per-client
+round-robin, explicit per-channel mixes, and aggregated client populations
+(cohorts).  The analytic models must agree with that resolution exactly,
+or predictions drift from the simulator for configuration reasons rather
+than modelling ones.  This module derives, from the same config objects
+the simulator consumes:
+
+- per-channel aggregate arrival rates (tx/s);
+- per-channel client (or cohort) process counts, which bound the client
+  stage's service pool;
+- the number of endorsements a satisfying envelope carries per channel.
+
+Population mode reuses :func:`repro.client.population.plan_cohorts`, so
+cohort rates match the simulator's planning code path by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.chaincode.policy import EndorsementPolicy, resolve_policy_spec
+from repro.client.population import plan_cohorts
+from repro.common.config import TopologyConfig, WorkloadConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class ChannelDemand:
+    """One channel's resolved offered load and endorsement plan."""
+
+    channel: str
+    #: Aggregate arrival rate on this channel (tx/s).
+    rate: float
+    #: Client (or cohort) processes generating this channel's load.
+    clients: int
+    #: Resolved endorsement policy for the channel.
+    policy: EndorsementPolicy
+    #: Transaction shape: "unique" fresh-key writes or "conflict" RMWs.
+    workload: str = "unique"
+
+    @property
+    def endorsements(self) -> int:
+        """Endorsements a satisfying envelope carries (minimal plan)."""
+        return self.policy.min_required()
+
+    @property
+    def targets(self) -> int:
+        """Endorsing peers the channel's proposals are spread across."""
+        return len(self.policy.principals())
+
+
+def resolve_demands(topology: TopologyConfig,
+                    workload: WorkloadConfig,
+                    workload_kind: str = "unique") -> list[ChannelDemand]:
+    """Per-channel demands, mirroring the simulator's workload resolution.
+
+    Rate priority matches :class:`~repro.fabric.network.FabricNetwork`:
+    population ``user_rate``, then per-channel mixes, then an even split of
+    ``arrival_rate`` implied by the clients' channel round-robin.
+    """
+    topology.validate(workload)
+    channel_configs = [topology.channel] + list(topology.extra_channels)
+    peer_names = [f"peer{i}"
+                  for i in range(topology.num_endorsing_peers)]
+    policies = {config.name: resolve_policy_spec(config.endorsement_policy,
+                                                 peer_names)
+                for config in channel_configs}
+    names = [config.name for config in channel_configs]
+
+    if workload.population is not None:
+        specs = plan_cohorts(names, workload, workload=workload_kind)
+        demands = []
+        for name in names:
+            on_channel = [spec for spec in specs if spec.channel == name]
+            demands.append(ChannelDemand(
+                channel=name,
+                rate=sum(spec.rate for spec in on_channel),
+                clients=len(on_channel),
+                policy=policies[name],
+                workload=on_channel[0].workload if on_channel
+                else workload_kind))
+        return demands
+
+    num_clients = (workload.num_clients if workload.num_clients is not None
+                   else topology.num_endorsing_peers)
+    # Classic mode: client i is bound to channel i % C (network assembly),
+    # so a channel's client group is the round-robin slice.
+    group_sizes = {name: 0 for name in names}
+    for index in range(num_clients):
+        group_sizes[names[index % len(names)]] += 1
+
+    if workload.per_channel is not None:
+        return [ChannelDemand(
+            channel=name,
+            rate=workload.per_channel[name].rate,
+            clients=group_sizes[name],
+            policy=policies[name],
+            workload=workload.per_channel[name].workload)
+            for name in names]
+
+    per_client = (workload.arrival_rate / num_clients if num_clients else 0.0)
+    return [ChannelDemand(
+        channel=name,
+        rate=per_client * group_sizes[name],
+        clients=group_sizes[name],
+        policy=policies[name],
+        workload=workload_kind)
+        for name in names]
+
+
+def offered_rate(demands: list[ChannelDemand]) -> float:
+    """Total offered load across all channels (tx/s)."""
+    return sum(demand.rate for demand in demands)

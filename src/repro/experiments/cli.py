@@ -16,6 +16,8 @@ Usage::
     repro perfbench --smoke --check-golden --out BENCH_PR5.json  # CI gate
     repro trace --summary-out trace_summary.json  # critical-path + queueing
     repro obs-diff --baseline BENCH_PR5.json --candidate BENCH_NEW.json
+    repro crossval --smoke --out crossval.json  # analytic model vs sim gate
+    repro capacity --target-tps 300 --max-p95 2.0 --policy AND5
 
 (``repro`` and ``fabric-repro`` are the same entry point.)
 """
@@ -354,6 +356,59 @@ def _run_perfbench(args) -> int:
     return 0
 
 
+def _run_crossval(args) -> int:
+    """The ``crossval`` subcommand: analytic phase model vs the simulator.
+
+    Exits non-zero when any gated metric (throughput, latency p50/p95)
+    lands beyond its declared tolerance; per-phase means are reported but
+    never gated.  ``--out`` writes the report JSON (the CI artifact).
+    """
+    from repro.experiments.crossval import run_crossval
+    from repro.experiments.perfbench import SMOKE_SCENARIOS
+
+    names = args.scenarios
+    scale = "smoke" if args.smoke else "full"
+    if names is None and args.smoke:
+        names = SMOKE_SCENARIOS
+    report = run_crossval(names, seed=args.seed, scale=scale)
+    print(report.render())
+    if args.out:
+        report.write_json(args.out)
+        print(f"crossval report written to {args.out}")
+    return 0 if report.ok else 1
+
+
+def _run_capacity(args) -> int:
+    """The ``capacity`` subcommand: invert the phase model into a plan.
+
+    Closed-form grid search — no simulation runs; a full plan answers in
+    milliseconds.  Exits non-zero when no configuration in the grid
+    sustains the target (so scripts can branch on feasibility).
+    """
+    from repro.analysis.planner import plan_capacity
+
+    if args.target_tps is None:
+        print("capacity: --target-tps RATE is required", file=sys.stderr)
+        return 2
+    plan = plan_capacity(
+        target_tps=args.target_tps,
+        max_p95=args.max_p95,
+        policy=args.policy,
+        orderer_kind=args.orderer if args.orderer is not None else "solo",
+        statedb_kind=args.statedb if args.statedb is not None else "leveldb",
+        workload_kind=args.plan_workload)
+    if args.plan_json:
+        print(json.dumps(plan.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(plan.render())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(plan.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"capacity plan written to {args.out}")
+    return 0 if plan.feasible else 1
+
+
 def _results_for(experiment_id: str, mode: str, seed: int):
     if experiment_id == "tab1":
         return [run_table1()]
@@ -385,7 +440,7 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
                                  + ["all", "trace", "lint",
                                     "check-determinism", "faults",
                                     "statedb", "perfbench", "obs-diff",
-                                    "scale"]),
+                                    "scale", "crossval", "capacity"]),
                         help="which artifact to regenerate; 'trace' for an "
                              "observed run with bottleneck attribution, "
                              "critical-path extraction, and the queueing "
@@ -399,7 +454,10 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
                              "'perfbench' for wall-clock benchmarks of the "
                              "simulator itself with golden-digest checks; "
                              "'scale' for peers x channels x population "
-                             "sweeps with aggregated client cohorts")
+                             "sweeps with aggregated client cohorts; "
+                             "'crossval' for the analytic-model-vs-"
+                             "simulator accuracy gate; 'capacity' for the "
+                             "closed-form capacity planner")
     parser.add_argument("--full", action="store_true",
                         help="run the paper-scale sweep (slower)")
     parser.add_argument("--seed", type=int, default=1,
@@ -536,6 +594,24 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     scale_group.add_argument("--scale-duration", type=float, default=8.0,
                              help="workload duration in simulated seconds "
                                   "(default 8)")
+    capacity_group = parser.add_argument_group(
+        "capacity options",
+        "only used with the 'capacity' experiment; --policy, --orderer, "
+        "--statedb, and --out also apply (crossval reuses --smoke, "
+        "--seed, --perf-scenario, and --out)")
+    capacity_group.add_argument("--target-tps", type=float, default=None,
+                                help="throughput the deployment must "
+                                     "sustain (tx/s)")
+    capacity_group.add_argument("--max-p95", type=float, default=None,
+                                help="end-to-end p95 latency bound in "
+                                     "seconds (default: unbounded)")
+    capacity_group.add_argument("--plan-workload", default="unique",
+                                choices=["unique", "conflict"],
+                                help="transaction shape to plan for "
+                                     "(default unique)")
+    capacity_group.add_argument("--plan-json", action="store_true",
+                                help="print the plan as JSON instead of "
+                                     "the text summary")
     diff_group = parser.add_argument_group(
         "obs-diff options", "only used with the 'obs-diff' experiment")
     diff_group.add_argument("--baseline", default=None, metavar="PATH",
@@ -572,6 +648,10 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         return _run_obs_diff(args)
     if args.experiment == "scale":
         return _run_scale(args)
+    if args.experiment == "crossval":
+        return _run_crossval(args)
+    if args.experiment == "capacity":
+        return _run_capacity(args)
     if args.experiment == "trace":
         if args.orderer is None:
             args.orderer = "solo"

@@ -9,12 +9,16 @@ runs rather than repeating them.
 from __future__ import annotations
 
 import functools
+import math
+import typing
 
 from repro.experiments.report import ExperimentResult
 from repro.experiments.runner import (
     AND_POLICY,
     DEFAULT_PEERS,
     OR_POLICY,
+    make_topology,
+    make_workload,
     run_point,
 )
 
@@ -143,6 +147,94 @@ def run_fig6_fig7(mode: str = "quick",
         title="Per-phase latency, endorsement policy AND5",
         columns=columns, rows=rows_for(and_points))
     return fig6, fig7
+
+
+# ----------------------------------------------------------------------
+# Analytic overlays: the stochastic phase model's predicted curves
+# ----------------------------------------------------------------------
+
+#: Which figure ids carry an analytic overlay, and what it predicts.
+_OVERLAY_KINDS = {
+    "fig2": "throughput",
+    "fig3": "latency",
+    "fig6": "order_validate",
+    "fig7": "order_validate",
+}
+
+
+def analytic_overlay(result: ExperimentResult, samples: int = 40,
+                     ) -> dict[str, dict[str, list[tuple[float, float]]]]:
+    """Phase-model prediction curves for a figure's panels.
+
+    Returns ``{orderer: {series name: [(rate, y), ...]}}`` over a dense
+    rate grid spanning the figure's measured range, ready to hand to
+    :func:`repro.experiments.plots.plot_result` as ``overlays``.  Latency
+    curves stop at the predicted saturation knee (the model reports
+    infinite latency past it); the throughput curve flattens at the
+    predicted system capacity instead.  Closed-form throughout — the
+    overlay adds no simulation runs.  Empty for figures without an
+    analytic counterpart.
+    """
+    kind = _OVERLAY_KINDS.get(result.experiment_id)
+    if kind is None:
+        return {}
+    columns = result.columns
+    rate_index = columns.index("arrival_rate")
+    orderer_index = columns.index("orderer")
+    rates = [float(row[rate_index]) for row in result.rows]
+    orderers = list(dict.fromkeys(row[orderer_index]
+                                  for row in result.rows))
+    if not rates or not orderers:
+        return {}
+    low, high = min(rates), max(rates)
+    if high <= low:
+        high = low + 1.0
+    grid = [low + (high - low) * step / (samples - 1)
+            for step in range(samples)]
+    if result.experiment_id in ("fig2", "fig3"):
+        policies = [("OR model", OR_POLICY), ("AND model", AND_POLICY)]
+    elif result.experiment_id == "fig6":
+        policies = [("model", OR_POLICY)]
+    else:
+        policies = [("model", AND_POLICY)]
+
+    overlays: dict[str, dict[str, list[tuple[float, float]]]] = {}
+    for orderer_kind in orderers:
+        panel: dict[str, list[tuple[float, float]]] = {}
+        for name, policy in policies:
+            panel[name] = _overlay_curve(orderer_kind, policy, grid, kind)
+        overlays[orderer_kind] = panel
+    return overlays
+
+
+def _overlay_curve(orderer_kind: str, policy: str,
+                   grid: typing.Sequence[float],
+                   kind: str) -> list[tuple[float, float]]:
+    from repro.analysis.phase_model import PhaseModel
+
+    topology = make_topology(orderer_kind, policy, DEFAULT_PEERS)
+    # Capacity is the saturation scale with traffic shares fixed, so any
+    # probe rate yields the same number; compute it once per curve.
+    capacity = PhaseModel(topology,
+                          make_workload(grid[0] or 1.0)).predict().capacity
+    points = []
+    for rate in grid:
+        if rate <= 0:
+            continue
+        if kind == "throughput":
+            points.append((rate, min(rate, capacity)))
+            continue
+        prediction = PhaseModel(topology, make_workload(rate)).predict(
+            with_capacity=False)
+        if kind == "latency":
+            value = prediction.latency.mean
+        else:
+            value = prediction.order.mean + prediction.validate.mean
+        # The model predicts unbounded latency past saturation; ending
+        # the curve at the knee is the honest rendering of that.
+        if math.isfinite(value):
+            points.append((rate, value))
+    return points
 
 
 #: Fig. 8 OSN counts; the paper scales up to 12.

@@ -4,6 +4,12 @@ The paper's figures are throughput/latency-vs-arrival-rate line charts;
 ``fabric-repro <fig> --plot`` renders the regenerated series in the same
 shape directly in the terminal, one panel per group (e.g. per ordering
 service), one glyph per series (e.g. OR vs AND).
+
+Figures with an analytic counterpart also carry the stochastic phase
+model's prediction as an overlay: a densely sampled dotted curve
+(``.`` glyph) under the simulated points, so model-vs-simulation
+agreement — and the predicted saturation knee — is visible directly in
+the chart.
 """
 
 from __future__ import annotations
@@ -14,14 +20,23 @@ Series = typing.Dict[str, typing.List[typing.Tuple[float, float]]]
 
 GLYPHS = "o*x+#@"
 
+#: Glyph for analytic-overlay series; dense sampling renders it as a
+#: dashed-looking curve under the simulated measurement glyphs.
+OVERLAY_GLYPH = "."
+
 
 def ascii_plot(series: Series, width: int = 60, height: int = 16,
-               title: str = "", x_label: str = "", y_label: str = "") -> str:
+               title: str = "", x_label: str = "", y_label: str = "",
+               styles: typing.Mapping[str, str] | None = None) -> str:
     """Render named (x, y) series as an ASCII chart.
 
-    Points from different series landing on the same cell show the glyph of
-    the later series (legend order).  Axes are linear, anchored at 0 on y.
+    ``styles`` overrides the glyph for specific series (overlays); styled
+    series are drawn first, so measurement glyphs win shared cells.
+    Points from different unstyled series landing on the same cell show
+    the glyph of the later series (legend order).  Axes are linear,
+    anchored at 0 on y.
     """
+    styles = dict(styles) if styles else {}
     if not series or all(not points for points in series.values()):
         return f"{title}\n(no data)"
     xs = [x for points in series.values() for x, _y in points]
@@ -40,9 +55,20 @@ def ascii_plot(series: Series, width: int = 60, height: int = 16,
         row = round((y - y_low) / (y_high - y_low) * (height - 1))
         return (height - 1 - row), column
 
-    for index, (name, points) in enumerate(series.items()):
-        glyph = GLYPHS[index % len(GLYPHS)]
-        for x, y in points:
+    glyph_of: dict[str, str] = {}
+    data_index = 0
+    for name in series:
+        if name in styles:
+            glyph_of[name] = styles[name]
+        else:
+            glyph_of[name] = GLYPHS[data_index % len(GLYPHS)]
+            data_index += 1
+
+    drawing_order = ([name for name in series if name in styles]
+                     + [name for name in series if name not in styles])
+    for name in drawing_order:
+        glyph = glyph_of[name]
+        for x, y in series[name]:
             row, column = cell(x, y)
             grid[row][column] = glyph
 
@@ -62,19 +88,22 @@ def ascii_plot(series: Series, width: int = 60, height: int = 16,
     lines.append(x_axis_labels)
     if x_label or y_label:
         lines.append(" " * 10 + f"x: {x_label}   y: {y_label}")
-    legend = "   ".join(f"{GLYPHS[i % len(GLYPHS)]} {name}"
-                        for i, name in enumerate(series))
+    legend = "   ".join(f"{glyph_of[name]} {name}" for name in series)
     lines.append(" " * 10 + legend)
     return "\n".join(lines)
 
 
 def plot_result(result, group_by: str, x: str, y: str,
                 series_by: str | None = None,
-                width: int = 60, height: int = 14) -> str:
+                width: int = 60, height: int = 14,
+                overlays: typing.Mapping[typing.Any, Series] | None = None,
+                ) -> str:
     """Plot an :class:`~repro.experiments.report.ExperimentResult`.
 
     ``group_by`` names the column that splits panels, ``series_by`` the
     column that splits lines within a panel, ``x``/``y`` the axis columns.
+    ``overlays`` maps panel values to extra analytic series drawn with
+    :data:`OVERLAY_GLYPH` beneath the measured points.
     """
     columns = result.columns
     group_index = columns.index(group_by)
@@ -94,10 +123,15 @@ def plot_result(result, group_by: str, x: str, y: str,
     for group_value, series in panels.items():
         for points in series.values():
             points.sort()
+        styles = None
+        if overlays and group_value in overlays:
+            overlay = overlays[group_value]
+            styles = {name: OVERLAY_GLYPH for name in overlay}
+            series = {**overlay, **series}
         rendered.append(ascii_plot(
             series, width=width, height=height,
             title=f"[{result.experiment_id}] {group_by}={group_value}",
-            x_label=x, y_label=y))
+            x_label=x, y_label=y, styles=styles))
     return "\n\n".join(rendered)
 
 
@@ -115,10 +149,17 @@ PLOT_SPECS = {
 
 
 def plot_if_supported(result) -> str | None:
-    """Plot a result if a spec exists for it; None otherwise."""
+    """Plot a result if a spec exists for it; None otherwise.
+
+    Figures with an analytic counterpart (Figs. 2/3/6/7) get the phase
+    model's prediction overlaid as a dotted curve.
+    """
     spec = PLOT_SPECS.get(result.experiment_id)
     if spec is None:
         return None
+    from repro.experiments.figures import analytic_overlay
+
     group_by, x, y, series_by = spec
     return plot_result(result, group_by=group_by, x=x, y=y,
-                       series_by=series_by)
+                       series_by=series_by,
+                       overlays=analytic_overlay(result))

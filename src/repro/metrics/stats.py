@@ -5,7 +5,8 @@ from __future__ import annotations
 import math
 import typing
 
-__all__ = ["mean", "percentile", "describe", "StreamingHistogram"]
+__all__ = ["mean", "percentile", "describe", "normal_quantile",
+           "lognormal_quantile", "StreamingHistogram"]
 
 
 def mean(values: typing.Sequence[float]) -> float:
@@ -31,6 +32,71 @@ def percentile(values: typing.Sequence[float], q: float) -> float:
         return ordered[low]
     fraction = rank - low
     return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+#: Coefficients of Acklam's rational approximation to the inverse normal
+#: CDF (relative error < 1.15e-9 over the whole open unit interval).
+_PROBIT_A = (-3.969683028665376e+01, 2.209460984245205e+02,
+             -2.759285104469687e+02, 1.383577518672690e+02,
+             -3.066479806614716e+01, 2.506628277459239e+00)
+_PROBIT_B = (-5.447609879822406e+01, 1.615858368580409e+02,
+             -1.556989798598866e+02, 6.680131188771972e+01,
+             -1.328068155288572e+01)
+_PROBIT_C = (-7.784894002430293e-03, -3.223964580411365e-01,
+             -2.400758277161838e+00, -2.549732539343734e+00,
+             4.374664141464968e+00, 2.938163982698783e+00)
+_PROBIT_D = (7.784695709041462e-03, 3.224671290700398e-01,
+             2.445134137142996e+00, 3.754408661907416e+00)
+
+
+def normal_quantile(p: float) -> float:
+    """Standard-normal quantile (probit) via Acklam's approximation.
+
+    Pure Python (no scipy); used by the analytic latency model to turn
+    two-moment fits into p50/p95/p99 predictions.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"quantile probability {p} must be in (0, 1)")
+    a, b, c, d = _PROBIT_A, _PROBIT_B, _PROBIT_C, _PROBIT_D
+    low, high = 0.02425, 1 - 0.02425
+    if p < low:
+        q = math.sqrt(-2 * math.log(p))
+        return ((((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4])
+                 * q + c[5])
+                / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1))
+    if p > high:
+        q = math.sqrt(-2 * math.log(1 - p))
+        return -((((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4])
+                  * q + c[5])
+                 / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1))
+    q = p - 0.5
+    r = q * q
+    return ((((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4])
+             * r + a[5]) * q
+            / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4])
+               * r + 1))
+
+
+def lognormal_quantile(mean_value: float, variance: float, p: float) -> float:
+    """Quantile of the lognormal matching a (mean, variance) pair.
+
+    The standard two-moment fit: a positive random variable with the given
+    first two moments is approximated by the lognormal sharing them, whose
+    quantiles are closed-form.  Degenerate inputs fall back gracefully:
+    zero variance returns the mean (a point mass), and a non-finite mean or
+    variance propagates ``inf`` (a saturated queue).
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"quantile probability {p} must be in (0, 1)")
+    if mean_value < 0 or variance < 0:
+        raise ValueError("lognormal fit needs mean >= 0 and variance >= 0")
+    if not math.isfinite(mean_value) or not math.isfinite(variance):
+        return math.inf
+    if mean_value == 0 or variance == 0:
+        return mean_value
+    sigma_sq = math.log(1.0 + variance / (mean_value * mean_value))
+    mu = math.log(mean_value) - sigma_sq / 2.0
+    return math.exp(mu + math.sqrt(sigma_sq) * normal_quantile(p))
 
 
 def describe(values: typing.Sequence[float]) -> dict[str, float]:

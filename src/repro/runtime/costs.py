@@ -18,8 +18,12 @@ comparison in EXPERIMENTS.md.  The key calibration targets:
 from __future__ import annotations
 
 import dataclasses
+import typing
 
 from repro.common.errors import ConfigurationError
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.common.config import StateDBConfig
 
 
 @dataclasses.dataclass
@@ -176,3 +180,59 @@ class CostModel:
                      / self.vscc_tx_cpu(endorsements))
         mvcc_rate = 1.0 / self.mvcc_per_tx_cpu
         return min(vscc_rate, mvcc_rate)
+
+    # ------------------------------------------------------------------
+    # State-database analytic cost contract
+    # ------------------------------------------------------------------
+    # Closed-form mirrors of the backend cost hooks in repro.statedb: the
+    # analytic phase model prices a block's state-DB work from the same
+    # constants the simulated backends charge, without instantiating one.
+
+    def statedb_commit_io(self, statedb: "StateDBConfig",
+                          block_txs: float,
+                          writes_per_tx: float = 1.0) -> float:
+        """I/O seconds to commit one block's write sets through ``statedb``.
+
+        Mirrors ``LevelDBBackend._commit_cost`` / ``CouchDBBackend
+        ._commit_cost``: LevelDB writes blindly through one batch; CouchDB
+        pays per-request overhead (amortized by ``bulk``) and must learn
+        unknown revisions first (eliminated by the read ``cache``).
+        """
+        writes = block_txs * writes_per_tx
+        if writes <= 0:
+            return 0.0
+        if statedb.kind == "leveldb":
+            return (self.leveldb_write_batch_base_io
+                    + writes * self.leveldb_write_per_key_io)
+        unknown = 0.0 if statedb.cache else writes
+        per_doc = writes * self.couch_write_per_doc_io
+        if statedb.bulk:
+            cost = self.couch_request_io + per_doc
+            if unknown:
+                cost += (self.couch_request_io
+                         + unknown * self.couch_read_per_doc_io)
+            return cost
+        cost = writes * self.couch_request_io + per_doc
+        cost += unknown * (self.couch_request_io
+                           + self.couch_read_per_doc_io)
+        return cost
+
+    def statedb_read_io(self, statedb: "StateDBConfig",
+                        block_txs: float,
+                        reads_per_tx: float = 0.0) -> float:
+        """I/O seconds to serve one block's validation read set.
+
+        The "unique" workload writes fresh keys and reads nothing
+        (``reads_per_tx`` 0); "conflict" read-modify-writes read one key
+        per transaction.  A warm read cache absorbs the read set entirely
+        (the Thakkar best case the simulated ablation converges to).
+        """
+        reads = block_txs * reads_per_tx
+        if reads <= 0 or statedb.cache:
+            return 0.0
+        if statedb.kind == "leveldb":
+            return reads * self.leveldb_read_io
+        if statedb.bulk:
+            return (self.couch_request_io
+                    + reads * self.couch_read_per_doc_io)
+        return reads * (self.couch_request_io + self.couch_read_per_doc_io)

@@ -80,3 +80,40 @@ def test_validate_capacity_includes_serial_path():
     vscc_only = (min(costs.validator_workers, costs.peer_cores)
                  / costs.vscc_tx_cpu(1))
     assert model.validate_capacity(policy) < vscc_only
+
+
+def test_deployment_capacities_multi_channel():
+    from repro.analysis import (deployment_capacities,
+                                deployment_system_capacity)
+    from repro.common.config import (ChannelConfig, TopologyConfig,
+                                     WorkloadConfig)
+
+    topology = TopologyConfig(
+        num_endorsing_peers=4,
+        channel=ChannelConfig(name="ch1"),
+        extra_channels=[ChannelConfig(name="ch2")])
+    workload = WorkloadConfig(arrival_rate=100.0, num_clients=4)
+    per_channel = deployment_capacities(topology, workload)
+    assert set(per_channel) == {"ch1", "ch2"}
+    for caps in per_channel.values():
+        assert caps.validate > 0
+        assert caps.system <= caps.validate
+
+    system = deployment_system_capacity(topology, workload)
+    # Aggregated capacity cannot exceed the sum of per-channel capacities
+    # and must be positive.
+    assert 0 < system.system
+    assert system.system <= sum(c.system for c in per_channel.values())
+
+
+def test_deployment_system_capacity_population_workload():
+    from repro.analysis import deployment_system_capacity
+    from repro.common.config import (PopulationConfig, TopologyConfig,
+                                     WorkloadConfig)
+
+    topology = TopologyConfig(num_endorsing_peers=4)
+    workload = WorkloadConfig(
+        arrival_rate=120.0,
+        population=PopulationConfig(num_users=5000, cohorts_per_channel=2))
+    caps = deployment_system_capacity(topology, workload)
+    assert 0 < caps.system < float("inf")

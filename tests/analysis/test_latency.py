@@ -84,3 +84,38 @@ def test_breakdown_total_is_sum():
     breakdown = model.breakdown(100, 10, 1)
     assert breakdown.total == pytest.approx(
         breakdown.execute + breakdown.order + breakdown.validate)
+
+
+def test_deployment_breakdowns_multi_channel():
+    from repro.analysis import deployment_breakdown, deployment_breakdowns
+    from repro.common.config import (ChannelConfig, ChannelWorkload,
+                                     TopologyConfig, WorkloadConfig)
+
+    topology = TopologyConfig(
+        num_endorsing_peers=4,
+        channel=ChannelConfig(name="ch1"),
+        extra_channels=[ChannelConfig(name="ch2")])
+    workload = WorkloadConfig(
+        arrival_rate=150.0, num_clients=4,
+        per_channel={"ch1": ChannelWorkload(rate=120.0),
+                     "ch2": ChannelWorkload(rate=30.0)})
+    breakdowns = deployment_breakdowns(topology, workload)
+    assert set(breakdowns) == {"ch1", "ch2"}
+    for breakdown in breakdowns.values():
+        assert breakdown.total == pytest.approx(
+            breakdown.execute + breakdown.order + breakdown.validate)
+
+    aggregate = deployment_breakdown(topology, workload)
+    # Rate-weighted mean lies between the per-channel extremes.
+    totals = sorted(b.total for b in breakdowns.values())
+    assert totals[0] <= aggregate.total <= totals[-1]
+
+
+def test_deployment_breakdown_zero_rate_is_zero():
+    from repro.analysis import deployment_breakdown
+    from repro.common.config import TopologyConfig, WorkloadConfig
+
+    topology = TopologyConfig(num_endorsing_peers=4)
+    workload = WorkloadConfig(arrival_rate=0.0, num_clients=2)
+    breakdown = deployment_breakdown(topology, workload)
+    assert breakdown.total == 0.0

@@ -1,0 +1,77 @@
+"""Tests for the capacity planner (planner.py)."""
+
+import time
+
+import pytest
+
+from repro.analysis.planner import CapacityPlan, plan_capacity
+
+
+def test_feasible_plan_under_a_second():
+    start = time.perf_counter()
+    plan = plan_capacity(target_tps=150.0, max_p95=2.0,
+                         policy="OR(1..n)")
+    elapsed = time.perf_counter() - start
+    assert elapsed < 1.0
+    assert plan.feasible
+    best = plan.best
+    assert best.peers >= 2
+    assert best.p95 <= 2.0
+    assert best.capacity >= 150.0
+
+
+def test_plan_respects_p95_bound():
+    generous = plan_capacity(target_tps=100.0, max_p95=5.0)
+    tight = plan_capacity(target_tps=100.0, max_p95=0.8)
+    assert generous.feasible
+    if tight.feasible:
+        assert tight.best.p95 <= 0.8
+        # A tighter bound can never admit a smaller/equal-latency config
+        # that the generous bound rejected.
+        assert tight.best.p95 <= generous.best.p95 + 1e-9
+
+
+def test_plan_prefers_small_deployments():
+    plan = plan_capacity(target_tps=100.0, max_p95=3.0)
+    assert plan.feasible
+    # 100 tps under OR is comfortably within a small deployment; the
+    # planner scans deployment scale in ascending order.
+    assert plan.best.peers <= 6
+    assert plan.best.channels <= 2
+
+
+def test_infeasible_target_reports_closest():
+    plan = plan_capacity(target_tps=50_000.0, max_p95=0.5,
+                         policy="AND5")
+    assert not plan.feasible
+    assert plan.best is None
+    assert plan.closest is not None
+    assert plan.evaluated > 0
+    rendered = plan.render()
+    assert "infeasible" in rendered.lower()
+
+
+def test_plan_as_dict_round_trip():
+    plan = plan_capacity(target_tps=150.0, max_p95=2.0)
+    payload = plan.as_dict()
+    assert payload["target_tps"] == pytest.approx(150.0)
+    assert payload["feasible"] is plan.feasible
+    if plan.feasible:
+        assert payload["best"]["peers"] == plan.best.peers
+        assert payload["best"]["batch_size"] == plan.best.batch_size
+    assert isinstance(plan, CapacityPlan)
+
+
+def test_plan_render_mentions_config():
+    plan = plan_capacity(target_tps=150.0, max_p95=2.0)
+    rendered = plan.render()
+    assert "peers" in rendered
+    assert "p95" in rendered
+
+
+def test_higher_target_needs_no_smaller_deployment():
+    low = plan_capacity(target_tps=100.0, max_p95=3.0)
+    high = plan_capacity(target_tps=250.0, max_p95=3.0)
+    assert low.feasible and high.feasible
+    assert (high.best.peers * high.best.channels
+            >= low.best.peers * low.best.channels)

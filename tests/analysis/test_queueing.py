@@ -52,3 +52,55 @@ def test_mmc_wait_saturation():
 
 def test_mmc_reduces_to_mm1():
     assert mmc_wait(5, 10, 1) == pytest.approx(mm1_wait(5, 10))
+
+
+def test_mg1_with_scv_one_reduces_to_mm1():
+    from repro.analysis import mg1_wait
+
+    assert mg1_wait(5, 0.1, service_scv=1.0) == pytest.approx(mm1_wait(5, 10))
+
+
+def test_mg1_deterministic_halves_exponential_wait():
+    from repro.analysis import mg1_wait
+
+    exponential = mg1_wait(5, 0.1, service_scv=1.0)
+    deterministic = mg1_wait(5, 0.1, service_scv=0.0)
+    assert deterministic == pytest.approx(exponential / 2)
+
+
+def test_mg1_saturation_is_infinite():
+    from repro.analysis import mg1_wait
+
+    assert mg1_wait(10, 0.1, service_scv=1.0) == math.inf
+    assert mg1_wait(12, 0.1, service_scv=0.5) == math.inf
+
+
+def test_mgc_single_server_reduces_to_mg1():
+    from repro.analysis import mg1_wait, mgc_wait
+
+    assert mgc_wait(5, 0.1, 0.4, 1) == pytest.approx(
+        mg1_wait(5, 0.1, service_scv=0.4))
+
+
+def test_mgc_with_scv_one_reduces_to_mmc():
+    from repro.analysis import mgc_wait
+
+    assert mgc_wait(15, 0.1, 1.0, 2) == pytest.approx(
+        mmc_wait(15, 10, 2))
+
+
+def test_erlang_c_large_server_count_no_overflow():
+    # The naive factorial formulation overflows float range near c ~ 170;
+    # the iterative Erlang-B recurrence must stay finite and in [0, 1].
+    p = mmc_erlang_c(450, 1, 500)
+    assert 0 <= p <= 1
+    assert math.isfinite(p)
+    # Heavily loaded but stable large system: waiting probability near 1.
+    assert mmc_erlang_c(499, 1, 500) > 0.5
+    # Lightly loaded large system: essentially never waits.
+    assert mmc_erlang_c(50, 1, 500) < 1e-6
+
+
+def test_mmc_wait_large_server_count():
+    wait = mmc_wait(450, 1, 500)
+    assert 0 < wait < math.inf

@@ -1,0 +1,73 @@
+"""Tests for model-vs-simulation cross-validation (crossval.py)."""
+
+import json
+
+import pytest
+
+from repro.experiments.crossval import (
+    MetricCheck,
+    CrossvalReport,
+    ScenarioCrossval,
+    TOLERANCES,
+    crossval_scenario,
+    run_crossval,
+)
+
+
+def test_metric_check_gating():
+    ok = MetricCheck("throughput", simulated=100.0, predicted=110.0,
+                     tolerance=0.25)
+    assert ok.rel_error == pytest.approx(0.1)
+    assert ok.ok
+
+    bad = MetricCheck("throughput", simulated=100.0, predicted=150.0,
+                      tolerance=0.25)
+    assert not bad.ok
+
+    ungated = MetricCheck("execute_mean", simulated=1.0, predicted=5.0,
+                          tolerance=None)
+    assert ungated.ok  # informational metrics never gate
+
+
+def test_metric_check_zero_simulated_is_safe():
+    check = MetricCheck("latency_p50", simulated=0.0, predicted=0.1,
+                        tolerance=0.35)
+    assert check.rel_error > 0
+    assert not check.ok
+
+
+def test_crossval_single_smoke_scenario():
+    result = crossval_scenario("solo-and-leveldb", scale="smoke")
+    assert isinstance(result, ScenarioCrossval)
+    gated = [c for c in result.checks if c.tolerance is not None]
+    assert {c.metric for c in gated} == {"throughput", "latency_p50",
+                                         "latency_p95"}
+    for check in gated:
+        assert check.ok, (check.metric, check.rel_error)
+    assert result.capacity > 0
+    assert result.bottleneck
+
+
+def test_crossval_report_render_and_json(tmp_path):
+    result = crossval_scenario("solo-and-leveldb", scale="smoke")
+    report = CrossvalReport(results=[result], scale="smoke", seed=1)
+    assert report.ok
+
+    rendered = report.render()
+    assert "solo-and-leveldb" in rendered
+    assert "throughput" in rendered
+
+    out = tmp_path / "crossval.json"
+    report.write_json(out)
+    payload = json.loads(out.read_text())
+    assert payload["ok"] is True
+    assert payload["tolerances"] == {
+        key: pytest.approx(value) for key, value in TOLERANCES.items()}
+    assert payload["results"][0]["scenario"] == "solo-and-leveldb"
+
+
+def test_run_crossval_selected_names():
+    report = run_crossval(names=["raft-and-leveldb"], scale="smoke")
+    assert len(report.results) == 1
+    assert report.results[0].scenario == "raft-and-leveldb"
+    assert report.ok
