@@ -5,7 +5,7 @@ same harness behind ``repro perfbench``), reports its host-seconds and
 kernel events/second, and asserts the run's trace digest matches the
 committed golden — a timing number is only meaningful if the run did
 exactly the simulated work it claims.  The final test writes the whole
-matrix to ``BENCH_PR5.json`` at the repository root.
+matrix to ``BENCH_PR10.json`` at the repository root.
 """
 
 from __future__ import annotations
@@ -56,7 +56,7 @@ def test_reference_scenario_event_rate(perf_scale: str) -> None:
 
 
 def test_write_bench_trajectory(perf_scale: str) -> None:
-    """Run the full matrix, check every golden, write BENCH_PR5.json."""
+    """Run the full matrix, check every golden, write BENCH_PR10.json."""
     report = perfbench.run_perfbench(scale=perf_scale, check_golden=True)
     out = REPO_ROOT / perfbench.BENCH_FILE
     report.write_bench_file(out)

@@ -137,7 +137,20 @@ class WorkloadGenerator:
     def _arrival_loop(self, plan: _ClientPlan, start_at: float):
         client = plan.client
         sim = client.sim
-        rng = client.context.rng.stream(f"workload.{client.name}")
+        registry = client.context.rng
+        stream_name = f"workload.{client.name}"
+        poisson = self.config.arrival_process == "poisson"
+        # Vectorised arrivals: a "unique" workload never draws in
+        # _next_call, so the stream's only consumer is the poisson
+        # inter-arrival draw — single-signature, safe to batch.  Conflict
+        # workloads interleave key-pick draws on the same stream and must
+        # stay sequential (the sampler's read-ahead would reorder them).
+        if poisson and plan.workload == "unique":
+            sampler = registry.sampler(stream_name)
+            rng = None
+        else:
+            sampler = None
+            rng = registry.stream(stream_name)
         if start_at > sim.now:
             yield sim.timeout(max(0.0, start_at - sim.now))
         interval = 1.0 / plan.rate
@@ -151,7 +164,9 @@ class WorkloadGenerator:
                           tx_size=plan.tx_size)
             self.transactions_started += 1
             sequence += 1
-            if self.config.arrival_process == "poisson":
+            if sampler is not None:
+                yield sim.timeout(sampler.expovariate(plan.rate))
+            elif poisson:
                 yield sim.timeout(rng.expovariate(plan.rate))
             else:
                 yield sim.timeout(interval)

@@ -59,16 +59,18 @@ class CryptoProvider:
         """The signing key for ``subject`` (deterministic)."""
         key = self._key_cache.get(subject)
         if key is None:
-            key = hmac.new(self._root_secret, subject.encode("utf-8"),
-                           hashlib.sha256).digest()
+            # hmac.digest is the one-shot C fast path (no streaming HMAC
+            # object); byte-identical output to hmac.new(...).digest().
+            key = hmac.digest(self._root_secret, subject.encode("utf-8"),
+                              "sha256")
             self._key_cache[subject] = key
         return key
 
     def sign(self, subject: str, message: bytes) -> Signature:
         """Sign ``message`` as ``subject``."""
         digest = sha256_hex(message)
-        mac = hmac.new(self.derive_key(subject), digest.encode("utf-8"),
-                       hashlib.sha256).hexdigest()
+        mac = hmac.digest(self.derive_key(subject), digest.encode("utf-8"),
+                          "sha256").hex()
         return Signature(signer=subject, digest=digest, mac=mac)
 
     def verify(self, signature: Signature, message: bytes) -> bool:
@@ -88,9 +90,9 @@ class CryptoProvider:
         if sha256_hex(message) != signature.digest:
             result = False
         else:
-            expected = hmac.new(self.derive_key(signature.signer),
-                                signature.digest.encode("utf-8"),
-                                hashlib.sha256).hexdigest()
+            expected = hmac.digest(self.derive_key(signature.signer),
+                                   signature.digest.encode("utf-8"),
+                                   "sha256").hex()
             result = hmac.compare_digest(expected, signature.mac)
         if len(cache) >= self.VERIFY_CACHE_MAX:
             cache.clear()

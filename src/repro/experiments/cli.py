@@ -13,9 +13,9 @@ Usage::
     repro statedb                      # state-DB backend ablation (Thakkar)
     repro check-determinism --orderer solo --statedb couchdb
     repro perfbench                    # wall-clock benchmarks, all scenarios
-    repro perfbench --smoke --check-golden --out BENCH_PR5.json  # CI gate
+    repro perfbench --smoke --check-golden --out BENCH_SMOKE.json  # CI gate
     repro trace --summary-out trace_summary.json  # critical-path + queueing
-    repro obs-diff --baseline BENCH_PR5.json --candidate BENCH_NEW.json
+    repro obs-diff --baseline BENCH_PR10.json --candidate BENCH_NEW.json
     repro crossval --smoke --out crossval.json  # analytic model vs sim gate
     repro capacity --target-tps 300 --max-p95 2.0 --policy AND5
 
@@ -101,7 +101,8 @@ def _run_obs_diff(args) -> int:
         return 2
     result = diff_files(args.baseline, args.candidate,
                         tolerance=args.tolerance,
-                        wall_tolerance=args.tol_wall)
+                        wall_tolerance=args.tol_wall,
+                        events_rate_tolerance=args.tol_events_rate)
     if args.diff_json:
         print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
     else:
@@ -294,6 +295,7 @@ def _run_scale(args) -> int:
     """
     import json
 
+    from repro.experiments.farm import FarmError
     from repro.experiments.scale import (
         ScaleSweep,
         run_scale_point,
@@ -322,8 +324,14 @@ def _run_scale(args) -> int:
                   f"{metrics.overall_throughput:>7.1f}  "
                   f"{metrics.overall_latency:>6.3f}")
     else:
-        sweep = run_scale_sweep(
-            mode="smoke" if args.smoke else "full", seed=args.seed)
+        try:
+            sweep = run_scale_sweep(
+                mode="smoke" if args.smoke else "full", seed=args.seed,
+                jobs=args.jobs)
+        except FarmError as error:
+            print(f"scale: point {error.label!r} failed in a worker:\n"
+                  f"{error.detail}", file=sys.stderr)
+            return 1
         print(sweep.render())
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -335,15 +343,22 @@ def _run_scale(args) -> int:
 
 def _run_perfbench(args) -> int:
     """The ``perfbench`` subcommand: wall-clock runs + golden digests."""
+    from repro.experiments.farm import FarmError
     from repro.experiments.perfbench import SMOKE_SCENARIOS, run_perfbench
 
     names = args.scenarios
     scale = "smoke" if args.smoke else "full"
     if names is None and args.smoke:
         names = SMOKE_SCENARIOS
-    report = run_perfbench(
-        names, seed=args.seed, scale=scale,
-        check_golden=args.check_golden, update_golden=args.update_golden)
+    try:
+        report = run_perfbench(
+            names, seed=args.seed, scale=scale,
+            check_golden=args.check_golden, update_golden=args.update_golden,
+            jobs=args.jobs, repeats=args.repeats)
+    except FarmError as error:
+        print(f"perfbench: scenario {error.label!r} failed in a worker:\n"
+              f"{error.detail}", file=sys.stderr)
+        return 1
     print(report.render())
     if args.out:
         report.write_bench_file(args.out)
@@ -364,13 +379,20 @@ def _run_crossval(args) -> int:
     never gated.  ``--out`` writes the report JSON (the CI artifact).
     """
     from repro.experiments.crossval import run_crossval
+    from repro.experiments.farm import FarmError
     from repro.experiments.perfbench import SMOKE_SCENARIOS
 
     names = args.scenarios
     scale = "smoke" if args.smoke else "full"
     if names is None and args.smoke:
         names = SMOKE_SCENARIOS
-    report = run_crossval(names, seed=args.seed, scale=scale)
+    try:
+        report = run_crossval(names, seed=args.seed, scale=scale,
+                              jobs=args.jobs)
+    except FarmError as error:
+        print(f"crossval: scenario {error.label!r} failed in a worker:\n"
+              f"{error.detail}", file=sys.stderr)
+        return 1
     print(report.render())
     if args.out:
         report.write_json(args.out)
@@ -464,6 +486,11 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
                         help="simulation seed (default 1)")
     parser.add_argument("--plot", action="store_true",
                         help="render figure-shaped ASCII charts as well")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the perfbench / "
+                             "crossval / scale matrices (default 1: run "
+                             "inline; results and report order are "
+                             "identical at any width)")
     trace_group = parser.add_argument_group(
         "trace options", "only used with the 'trace' experiment")
     trace_group.add_argument("--orderer", default=None,
@@ -568,6 +595,11 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     perf_group.add_argument("--update-golden", action="store_true",
                             help="deliberately regenerate the committed "
                                  "golden digests from this run")
+    perf_group.add_argument("--repeats", type=int, default=1, metavar="N",
+                            help="time each scenario N times and keep the "
+                                 "fastest wall clock (best-of-N; default 1). "
+                                 "The schedule and digest are identical "
+                                 "across repeats — only host noise varies")
     scale_group = parser.add_argument_group(
         "scale options",
         "only used with the 'scale' experiment; --seed, --smoke, and "
@@ -627,6 +659,13 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
                             help="also gate wall-clock time at this "
                                  "relative tolerance (default: report "
                                  "only; wall time is machine-dependent)")
+    diff_group.add_argument("--tol-events-rate", type=float, default=None,
+                            metavar="FRAC",
+                            help="also gate the kernel event rate "
+                                 "(events_per_s) at this relative "
+                                 "tolerance (default: report only; the "
+                                 "rate is machine-dependent, gate it "
+                                 "only against a same-host baseline)")
     diff_group.add_argument("--diff-json", action="store_true",
                             help="emit the full diff as JSON")
     diff_group.add_argument("--diff-verbose", action="store_true",

@@ -34,6 +34,7 @@ import pathlib
 import typing
 
 from repro.analysis.phase_model import PhaseModel
+from repro.experiments.farm import run_farm
 from repro.experiments.perfbench import (
     GOLDEN_SEED,
     SCENARIOS,
@@ -199,16 +200,29 @@ class CrossvalReport:
         return "\n".join(lines)
 
 
+def _scenario_worker(task: tuple[str, int, str]) -> ScenarioCrossval:
+    """Farm worker: one crossval scenario from its explicit task tuple."""
+    name, seed, scale = task
+    return crossval_scenario(name, seed=seed, scale=scale)
+
+
 def run_crossval(names: typing.Sequence[str] | None = None,
                  seed: int = GOLDEN_SEED,
-                 scale: str = "full") -> CrossvalReport:
-    """Cross-validate ``names`` (default: the whole perfbench matrix)."""
+                 scale: str = "full",
+                 jobs: int = 1) -> CrossvalReport:
+    """Cross-validate ``names`` (default: the whole perfbench matrix).
+
+    ``jobs > 1`` farms scenarios across processes; the report JSON is
+    byte-identical to a sequential run (crossval carries no wall-clock
+    fields), in the same scenario order.
+    """
     if names is None:
         names = list(SCENARIOS)
     unknown = [name for name in names if name not in SCENARIOS]
     if unknown:
         raise KeyError(f"unknown crossval scenario(s): {unknown}; "
                        f"known: {sorted(SCENARIOS)}")
-    results = [crossval_scenario(name, seed=seed, scale=scale)
-               for name in names]
+    results = run_farm(_scenario_worker,
+                       [(name, seed, scale) for name in names],
+                       jobs=jobs, labels=list(names))
     return CrossvalReport(results=results, scale=scale, seed=seed)

@@ -37,6 +37,7 @@ from repro.common.config import (
     TopologyConfig,
     WorkloadConfig,
 )
+from repro.experiments.farm import run_farm
 from repro.fabric.network import FabricNetwork
 from repro.metrics.collector import PhaseMetrics
 
@@ -242,17 +243,27 @@ class ScaleSweep:
         return "\n".join(lines)
 
 
+def _point_worker(task: dict) -> ScalePoint:
+    """Farm worker: one sweep point from its explicit keyword task."""
+    return run_scale_point(**task)
+
+
 def run_scale_sweep(mode: str = "full", seed: int = 1,
-                    observe: bool = True) -> ScaleSweep:
-    """Sweep peers x channels x population size."""
+                    observe: bool = True, jobs: int = 1) -> ScaleSweep:
+    """Sweep peers x channels x population size.
+
+    ``jobs > 1`` farms grid points across processes; point order and
+    metrics are identical to a sequential sweep.
+    """
     if mode == "full":
         grid, duration = FULL_GRID, FULL_DURATION
     elif mode == "smoke":
         grid, duration = SMOKE_GRID, SMOKE_DURATION
     else:
         raise ValueError(f"unknown scale mode {mode!r}")
-    points = [run_scale_point(peers=peers, channels=channels, users=users,
-                              rate=rate, duration=duration, seed=seed,
-                              observe=observe)
-              for peers, channels, users, rate in grid]
+    tasks = [dict(peers=peers, channels=channels, users=users,
+                  rate=rate, duration=duration, seed=seed, observe=observe)
+             for peers, channels, users, rate in grid]
+    labels = [f"{t['peers']}p-{t['channels']}c-{t['users']}u" for t in tasks]
+    points = run_farm(_point_worker, tasks, jobs=jobs, labels=labels)
     return ScaleSweep(points=points, mode=mode, seed=seed)

@@ -35,6 +35,14 @@ class CertificateAuthority:
 
     CA_SUBJECT = "@ca"
 
+    #: Process-wide revocation counter, bumped alongside every per-CA
+    #: :attr:`revocation_epoch`.  Verdict caches key on this (one integer
+    #: read per validate) rather than summing per-CA epochs; a revoke in
+    #: *any* trust domain conservatively invalidates every cache, which
+    #: is always safe and costs nothing because revocations are rare
+    #: (fault-injection scenarios only).
+    global_revocation_epoch = 0
+
     def __init__(self, msp_id: str, root_secret: bytes | None = None) -> None:
         if not msp_id:
             raise ConfigurationError("MSP id must be non-empty")
@@ -44,6 +52,10 @@ class CertificateAuthority:
         self._serial = 0
         self._issued: dict[str, EnrollmentCertificate] = {}
         self._revoked: set[str] = set()
+        #: Bumped on every revocation; verdict caches keyed on trust state
+        #: (see :attr:`repro.msp.msp.MSP.verdict_cache`) use it to
+        #: invalidate without subscribing to individual CRL changes.
+        self.revocation_epoch = 0
 
     def enroll(self, name: str, role: Role) -> Identity:
         """Issue an enrolment certificate and return the signed identity."""
@@ -66,6 +78,8 @@ class CertificateAuthority:
         if name not in self._issued:
             raise ConfigurationError(f"{name!r} was never enrolled")
         self._revoked.add(name)
+        self.revocation_epoch += 1
+        CertificateAuthority.global_revocation_epoch += 1
 
     def is_revoked(self, name: str) -> bool:
         return name in self._revoked

@@ -13,7 +13,11 @@ the kernel event count (a proxy for simulator work per run: more events
 for the same workload means the simulation got more expensive).
 Wall-clock (``wall_s``) is machine-dependent, so it is reported but
 gated only when an explicit wall tolerance is supplied — comparing
-wall-clock across different machines would be noise, not signal.
+wall-clock across different machines would be noise, not signal.  The
+kernel event rate (``events_per_s`` = events / wall-clock) is equally
+machine-dependent and follows the same opt-in pattern behind
+``--tol-events-rate``: ungated by default, gated when a tolerance is
+supplied (the kernel-throughput guard for a pinned CI runner).
 """
 
 from __future__ import annotations
@@ -29,7 +33,7 @@ class MetricSpec:
 
     key: str
     higher_is_better: bool
-    gate: str        # "deterministic", "wall", or "report"  (never gated)
+    gate: str        # "deterministic", "wall", or "rate"
 
 
 #: Metrics recognised in measurement entries, in report order.
@@ -41,7 +45,7 @@ METRICS: tuple[MetricSpec, ...] = (
                gate="deterministic"),
     MetricSpec("events", higher_is_better=False, gate="deterministic"),
     MetricSpec("wall_s", higher_is_better=False, gate="wall"),
-    MetricSpec("events_per_s", higher_is_better=True, gate="report"),
+    MetricSpec("events_per_s", higher_is_better=True, gate="rate"),
 )
 
 
@@ -118,13 +122,17 @@ def compare_measurements(
         baseline: typing.Mapping[str, typing.Mapping[str, typing.Any]],
         candidate: typing.Mapping[str, typing.Mapping[str, typing.Any]],
         tolerance: float = 0.05,
-        wall_tolerance: float | None = None) -> DiffResult:
+        wall_tolerance: float | None = None,
+        events_rate_tolerance: float | None = None) -> DiffResult:
     """Diff candidate against baseline.
 
     A gated metric regresses when it moves in its bad direction by more
     than the tolerance (relative).  ``wall_tolerance=None`` (default)
-    leaves wall-clock ungated.  Scenarios whose ``scale`` fields differ
-    are skipped: a smoke run is not comparable to a full run.
+    leaves wall-clock ungated; ``events_rate_tolerance=None`` likewise
+    leaves the kernel event rate (``events_per_s``) ungated — both are
+    host-dependent, so gating them only makes sense against a baseline
+    recorded on the same machine.  Scenarios whose ``scale`` fields
+    differ are skipped: a smoke run is not comparable to a full run.
     """
     deltas: list[MetricDelta] = []
     skipped: list[str] = []
@@ -151,6 +159,9 @@ def compare_measurements(
             elif spec.gate == "wall":
                 gated = wall_tolerance is not None
                 limit = wall_tolerance if gated else 0.0
+            elif spec.gate == "rate":
+                gated = events_rate_tolerance is not None
+                limit = events_rate_tolerance if gated else 0.0
             else:
                 gated, limit = False, 0.0
             bad_change = -change if spec.higher_is_better else change
@@ -169,12 +180,14 @@ def compare_measurements(
 
 def diff_files(baseline_path: str, candidate_path: str,
                tolerance: float = 0.05,
-               wall_tolerance: float | None = None) -> DiffResult:
+               wall_tolerance: float | None = None,
+               events_rate_tolerance: float | None = None) -> DiffResult:
     """Convenience wrapper: load both files and compare."""
     return compare_measurements(load_measurements(baseline_path),
                                 load_measurements(candidate_path),
                                 tolerance=tolerance,
-                                wall_tolerance=wall_tolerance)
+                                wall_tolerance=wall_tolerance,
+                                events_rate_tolerance=events_rate_tolerance)
 
 
 def render_diff(result: DiffResult, verbose: bool = False) -> str:

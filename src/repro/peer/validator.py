@@ -23,6 +23,7 @@ from repro.chaincode.policy import EndorsementPolicy
 from repro.chaincode.system import VSCC
 from repro.common.types import Block, TransactionEnvelope, ValidationCode
 from repro.ledger.ledger import Ledger
+from repro.sim.core import Process
 from repro.sim.resources import Resource
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -210,8 +211,9 @@ class BlockValidator:
                 [None] * len(block.transactions))
             # Eager spawn: each job claims its worker slot at spawn, in
             # list order — the same FIFO order the init pops would give.
-            jobs = [peer.sim.process(self._vscc_one(envelope, flags, index),
-                                     eager=True)
+            sim = peer.sim
+            jobs = [Process(sim, self._vscc_one(envelope, flags, index),
+                            eager=True)
                     for index, envelope in enumerate(block.transactions)]
             if jobs:
                 yield peer.sim.all_of(jobs)

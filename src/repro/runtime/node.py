@@ -13,7 +13,8 @@ import typing
 
 from repro.common.errors import ConfigurationError
 from repro.runtime.context import NetworkContext
-from repro.sim.events import Event
+from repro.sim.core import Process
+from repro.sim.events import Event, Timeout
 from repro.sim.network import Message, NodeDownError
 from repro.sim.resources import Resource
 
@@ -89,8 +90,10 @@ class NodeBase:
                 raise ConfigurationError(
                     f"{self.name}: no handler for {message.msg_type!r} "
                     f"(from {message.source})")
-            self.sim.process(self._dispatch(handler, message), daemon=True,
-                             eager=True)
+            # Direct Process construction (not sim.process()): one spawn
+            # per delivered message makes the factory frame measurable.
+            Process(self.sim, self._dispatch(handler, message), daemon=True,
+                    eager=True)
 
     def _dispatch(self, handler: Handler, message: Message):
         # The TLS charge is cpu.use() flattened inline: one _dispatch per
@@ -105,7 +108,7 @@ class NodeBase:
                 # Grant wait inside the try: an interrupt here must
                 # still return the slot.
                 yield request
-                yield self.sim.timeout(tls)
+                yield Timeout(self.sim, tls)
             finally:
                 cpu.release(request)
         yield from handler(message)

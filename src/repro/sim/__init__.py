@@ -15,17 +15,23 @@ discrete-event simulator in the style of SimPy, written from scratch:
 - :class:`~repro.sim.network.Network`: point-to-point links with latency and
   bandwidth serialization, used for all inter-node traffic.
 - :class:`~repro.sim.rng.RngRegistry`: named, independently seeded random
-  streams so experiments are reproducible and streams are decoupled.
+  streams so experiments are reproducible and streams are decoupled;
+  :class:`~repro.sim.rng.BatchSampler` is the vectorised (but
+  bit-identical) view of a high-rate stream.
+- :class:`~repro.sim.scheduler.CalendarQueue`: the timed tiers of the
+  array-backed event scheduler (the default; the legacy binary heap stays
+  available as ``Simulation(scheduler="heap")``).
 
-Everything is deterministic given a seed: the event heap breaks ties by
-insertion order, and all randomness flows through named RNG streams.
+Everything is deterministic given a seed: the event scheduler breaks ties
+by insertion order, and all randomness flows through named RNG streams.
 """
 
 from repro.sim.core import Process, Simulation
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
 from repro.sim.network import Link, Message, Network
 from repro.sim.resources import Resource, Store
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import BatchSampler, RngRegistry
+from repro.sim.scheduler import CalendarQueue
 from repro.sim.sanitizer import (
     DeterminismReport,
     TraceDigest,
@@ -36,6 +42,8 @@ from repro.sim.sanitizer import (
 __all__ = [
     "AllOf",
     "AnyOf",
+    "BatchSampler",
+    "CalendarQueue",
     "DeterminismReport",
     "Event",
     "Interrupt",

@@ -1,9 +1,21 @@
 """The simulation loop and generator-based processes.
 
-The kernel is a classic discrete-event loop: a heap of ``(time, seq, event)``
-entries, popped in order; popping an event runs its callbacks, which resume
-waiting processes.  Processes are plain Python generators that yield
+The kernel is a classic discrete-event loop: ``(time, seq, event)`` entries
+popped in order; popping an event runs its callbacks, which resume waiting
+processes.  Processes are plain Python generators that yield
 :class:`~repro.sim.events.Event` objects.
+
+Two interchangeable schedulers back the loop (see
+:mod:`repro.sim.scheduler` for the design rationale):
+
+- ``scheduler="array"`` (the default): a comparison-free FIFO ring for
+  due-now events plus a calendar/sorted two-tier queue for timed events;
+- ``scheduler="heap"``: the original single binary heap, kept as the
+  differential-testing oracle.
+
+Both produce bit-identical pop order and sequence numbering — the golden
+trace digests and ``tests/sim/test_scheduler_differential.py`` hold them
+to it.
 
 Determinism: ties on time are broken by a monotonically increasing sequence
 number, so two runs with the same seed produce identical schedules.
@@ -13,8 +25,19 @@ from __future__ import annotations
 
 import heapq
 import typing
+from bisect import insort
+from collections import deque
+from math import inf
 
-from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
+from repro.sim.events import (
+    _PENDING as _SENTINEL_PENDING,
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Timeout,
+)
+from repro.sim.scheduler import CalendarQueue
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.sanitizer import TraceDigest
@@ -43,9 +66,9 @@ class Simulation:
     """
 
     __slots__ = ("_now", "_heap", "_seq", "_active_process", "_trace",
-                 "events_processed")
+                 "events_processed", "_fifo", "_cal")
 
-    def __init__(self) -> None:
+    def __init__(self, scheduler: str = "array") -> None:
         self._now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq: int = 0
@@ -57,11 +80,37 @@ class Simulation:
         #: into its running digest.  ``None`` (the default) costs one
         #: ``is`` test per step.
         self._trace: "TraceDigest | None" = None
+        # Scheduler selection.  ``_fifo is None`` is the mode discriminator
+        # checked inline at every push site (events.py, resources.py, and
+        # this module): a method call per push would eat the win.
+        if scheduler == "array":
+            self._fifo: "deque[tuple[float, int, Event]] | None" = deque()
+            self._cal: CalendarQueue | None = CalendarQueue()
+        elif scheduler == "heap":
+            self._fifo = None
+            self._cal = None
+        else:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; expected 'array' or 'heap'")
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def scheduler_kind(self) -> str:
+        """Which scheduler backs this simulation: ``"array"`` or ``"heap"``."""
+        return "heap" if self._fifo is None else "array"
+
+    def scheduler_depths(self) -> dict[str, int]:
+        """Pending-entry counts per scheduler tier (test introspection)."""
+        if self._fifo is None:
+            return {"heap": len(self._heap)}
+        assert self._cal is not None
+        depths = self._cal.depths()
+        depths["fifo"] = len(self._fifo)
+        return depths
 
     @property
     def active_process(self) -> "Process | None":
@@ -127,12 +176,37 @@ class Simulation:
         if delay < 0:
             raise ValueError(
                 f"cannot schedule an event {-delay} seconds into the past")
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        fifo = self._fifo
+        if fifo is None:
+            heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        elif delay == 0.0:
+            fifo.append((self._now, self._seq, event))
+        else:
+            cal = self._cal
+            assert cal is not None
+            entry = (self._now + delay, self._seq, event)
+            if entry[0] < cal.bucket_end:
+                insort(cal.run, entry)
+            else:
+                heapq.heappush(cal.far, entry)
         self._seq += 1
+
+    def _next_entry(self) -> "tuple[float, int, Event] | None":
+        """The earliest pending array-scheduler entry, without removing it."""
+        assert self._fifo is not None and self._cal is not None
+        timed = self._cal.head()
+        if self._fifo:
+            first = self._fifo[0]
+            if timed is None or first < timed:
+                return first
+        return timed
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        if self._fifo is None:
+            return self._heap[0][0] if self._heap else inf
+        entry = self._next_entry()
+        return entry[0] if entry is not None else inf
 
     def set_trace(self, trace: "TraceDigest | None") -> None:
         """Install (or remove) the determinism-sanitizer trace hook."""
@@ -140,7 +214,17 @@ class Simulation:
 
     def step(self) -> None:
         """Pop and process a single event."""
-        when, _seq, event = heapq.heappop(self._heap)
+        if self._fifo is None:
+            when, _seq, event = heapq.heappop(self._heap)
+        else:
+            assert self._cal is not None
+            timed = self._cal.head()
+            if self._fifo and (timed is None or self._fifo[0] < timed):
+                when, _seq, event = self._fifo.popleft()
+            elif timed is not None:
+                when, _seq, event = self._cal.pop()
+            else:
+                raise IndexError("step() on an empty schedule")
         self._now = when
         self.events_processed += 1
         if self._trace is not None:
@@ -156,18 +240,115 @@ class Simulation:
             raise event._value
 
     def run(self, until: float | Event | None = None) -> typing.Any:
-        """Run until the heap drains, ``until`` seconds pass, or an event fires.
+        """Run until the schedule drains, ``until`` passes, or an event fires.
 
         ``until`` may be a simulated-time horizon (float), an event (run until
         it fires and return its value), or ``None`` (drain all events).
 
         The pop/dispatch loop is the simulator's hottest code: it is
-        deliberately inlined here (rather than calling :meth:`step`) with
-        hoisted locals, which is worth ~15% wall-clock on reference runs.
-        The two paths are behaviourally identical — same pops, same order —
-        and the golden-digest suite (``tests/fabric/test_golden_digests``)
-        holds this loop to that contract.
+        deliberately inlined (rather than calling :meth:`step`) with
+        hoisted locals.  One loop exists per scheduler; they are
+        behaviourally identical — same pops, same order — and the
+        golden-digest suite (``tests/fabric/test_golden_digests``) plus the
+        differential scheduler tests hold them to that contract.
         """
+        if self._fifo is None:
+            return self._run_heap(until)
+        return self._run_array(until)
+
+    def _run_array(self, until: float | Event | None) -> typing.Any:
+        # The array-scheduler loop.  Selection is a two-way head comparison
+        # (FIFO ring vs current calendar bucket): the far tier holds only
+        # entries at or beyond bucket_end, so it can never own the minimum,
+        # and FIFO entries (time <= now < bucket_end) always precede it too.
+        stop_event: Event | None = None
+        # inf instead of None: one float compare per pop, no None test.
+        horizon = inf
+        explicit_horizon = False
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event.value
+            assert stop_event.callbacks is not None
+            stop_event.callbacks.append(self._stop_callback)
+        elif until is not None:
+            horizon = float(until)
+            explicit_horizon = True
+            if horizon < self._now:
+                raise ValueError(
+                    f"until={horizon} is in the past (now={self._now})")
+        fifo = self._fifo
+        cal = self._cal
+        assert fifo is not None and cal is not None
+        fifo_popleft = fifo.popleft
+        # run/run_idx are hoisted loop-locals, synced back in the finally
+        # block.  Callbacks may insort new entries into cal.run (growing it
+        # behind run_idx is impossible: fresh pushes land after the consumed
+        # prefix because their time exceeds now), so len(run) is re-read
+        # every iteration while run_idx stays private to this frame.
+        run = cal.run
+        run_idx = cal.run_idx
+        far = cal.far
+        steps = 0
+        try:
+            while True:
+                if run_idx < len(run):
+                    entry = run[run_idx]
+                    if fifo and fifo[0] < entry:
+                        entry = fifo_popleft()
+                    else:
+                        run_idx += 1
+                elif fifo:
+                    entry = fifo_popleft()
+                elif far:
+                    cal.advance()
+                    run = cal.run
+                    run_idx = 0
+                    continue
+                else:
+                    break
+                when = entry[0]
+                if when > horizon:
+                    # Un-pop so the next bounded run() resumes exactly here.
+                    if run_idx > 0 and entry is run[run_idx - 1]:
+                        run_idx -= 1
+                    else:
+                        fifo.appendleft(entry)
+                    self._now = horizon
+                    return None
+                event = entry[2]
+                self._now = when
+                steps += 1
+                trace = self._trace
+                if trace is not None:
+                    trace.record(when, entry[1], event)
+                callbacks = event.callbacks
+                event.callbacks = None
+                # callbacks is never None here: a popped event has not been
+                # processed before (each entry is pushed exactly once).
+                for callback in callbacks:  # type: ignore[union-attr]
+                    callback(event)
+                if not event._ok and not event.defused:
+                    # Nobody waited on this failed event: surface the error
+                    # rather than letting it pass silently.
+                    raise event._value
+        except StopSimulation as stop:
+            return stop.args[0]
+        finally:
+            self.events_processed += steps
+            cal.run_idx = run_idx
+        if stop_event is not None and not stop_event.triggered:
+            raise RuntimeError(
+                "simulation ran out of events before `until` event fired")
+        if explicit_horizon:
+            # The schedule drained before the horizon; advance the clock so
+            # repeated bounded runs observe monotonic time.
+            self._now = max(self._now, horizon)
+        return None
+
+    def _run_heap(self, until: float | Event | None) -> typing.Any:
+        # The legacy binary-heap loop, preserved verbatim as the
+        # differential-testing oracle for the array scheduler.
         stop_event: Event | None = None
         horizon: float | None = None
         if isinstance(until, Event):
@@ -225,6 +406,24 @@ class Simulation:
         raise event.value
 
 
+class _EagerInitSentinel:
+    """Stand-in for the init event of eager process spawns.
+
+    ``Process._resume`` reads only ``_ok``/``_value`` from a successful
+    event, and an eager init is invisible to everything else, so a single
+    shared instance replaces ~10^5 per-run Event allocations.
+    """
+
+    __slots__ = ()
+
+    _ok = True
+    _value = None
+    defused = False
+
+
+_EAGER_INIT = typing.cast(Event, _EagerInitSentinel())
+
+
 class Process(Event):
     """A running generator, resumable by the events it yields.
 
@@ -233,24 +432,34 @@ class Process(Event):
     may therefore ``yield`` a process to join it.
     """
 
-    __slots__ = ("_generator", "_target", "_daemon")
+    __slots__ = ("_generator", "_send", "_target", "_daemon")
 
     def __init__(self, sim: Simulation, generator: ProcessGenerator,
                  daemon: bool = False, eager: bool = False) -> None:
-        super().__init__(sim)
+        # Event.__init__ inlined: one Process per message/dispatch/VSCC job
+        # makes even the super() frame measurable.
+        self.sim = sim
+        self.callbacks = []
+        self._value = _SENTINEL_PENDING
+        self._ok = True
+        self.defused = False
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         self._generator = generator
+        # Bound method cached once: _resume runs ~10^6 times per reference
+        # run and the send attribute lookup is measurable there.
+        self._send = generator.send
         self._daemon = daemon
         if eager:
             # Advance to the first yield right now, with no init event.
             # _resume clears the active process on exit, so the spawning
             # process's slot is saved and restored around the nested call.
+            # The init "event" is a shared pre-succeeded sentinel: _resume
+            # only reads ._ok/._value from it and an eager init is never
+            # waited on, so one allocation serves every eager spawn.
             self._target: Event | None = None
-            init = Event(sim)
-            init._value = None
             previous = sim._active_process
-            self._resume(init)
+            self._resume(_EAGER_INIT)
             sim._active_process = previous
             return
         # Kick off the generator at the current time via an initial event
@@ -259,7 +468,11 @@ class Process(Event):
         init._value = None
         assert init.callbacks is not None
         init.callbacks.append(self._resume)
-        heapq.heappush(sim._heap, (sim._now, sim._seq, init))
+        fifo = sim._fifo
+        if fifo is None:
+            heapq.heappush(sim._heap, (sim._now, sim._seq, init))
+        else:
+            fifo.append((sim._now, sim._seq, init))
         sim._seq += 1
         self._target = init
 
@@ -310,7 +523,7 @@ class Process(Event):
         sim._active_process = self
         try:
             if event._ok:
-                next_target = self._generator.send(event._value)
+                next_target = self._send(event._value)
             else:
                 event.defused = True
                 next_target = self._generator.throw(event._value)
@@ -350,7 +563,11 @@ class Process(Event):
                 next_target.defused = True
                 resume.defused = True
             resume.callbacks = [self._resume]
-            heapq.heappush(sim._heap, (sim._now, sim._seq, resume))
+            fifo = sim._fifo
+            if fifo is None:
+                heapq.heappush(sim._heap, (sim._now, sim._seq, resume))
+            else:
+                fifo.append((sim._now, sim._seq, resume))
             sim._seq += 1
             self._target = resume
         else:

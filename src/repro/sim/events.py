@@ -9,6 +9,7 @@ re-raised inside the waiting process).
 from __future__ import annotations
 
 import typing
+from bisect import insort
 from heapq import heappush
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -73,7 +74,11 @@ class Event:
         self._ok = True
         self._value = value
         sim = self.sim
-        heappush(sim._heap, (sim._now, sim._seq, self))
+        fifo = sim._fifo
+        if fifo is None:
+            heappush(sim._heap, (sim._now, sim._seq, self))
+        else:
+            fifo.append((sim._now, sim._seq, self))
         sim._seq += 1
         return self
 
@@ -86,7 +91,11 @@ class Event:
         self._ok = False
         self._value = exception
         sim = self.sim
-        heappush(sim._heap, (sim._now, sim._seq, self))
+        fifo = sim._fifo
+        if fifo is None:
+            heappush(sim._heap, (sim._now, sim._seq, self))
+        else:
+            fifo.append((sim._now, sim._seq, self))
         sim._seq += 1
         return self
 
@@ -116,7 +125,20 @@ class Timeout(Event):
         self._value = value
         self.defused = False
         self.delay = delay
-        heappush(sim._heap, (sim._now + delay, sim._seq, self))
+        fifo = sim._fifo
+        if fifo is None:
+            heappush(sim._heap, (sim._now + delay, sim._seq, self))
+        elif delay == 0.0:
+            fifo.append((sim._now, sim._seq, self))
+        else:
+            # CalendarQueue.push inlined: timeouts are the dominant timed
+            # push and the extra method frame showed up in sampling profiles.
+            cal = sim._cal
+            entry = (sim._now + delay, sim._seq, self)
+            if entry[0] < cal.bucket_end:  # type: ignore[union-attr]
+                insort(cal.run, entry)  # type: ignore[union-attr]
+            else:
+                heappush(cal.far, entry)  # type: ignore[union-attr]
         sim._seq += 1
 
     @property

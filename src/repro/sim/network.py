@@ -27,7 +27,8 @@ import dataclasses
 import itertools
 import typing
 
-from repro.sim.events import Event
+from repro.sim.core import Process
+from repro.sim.events import Event, Timeout
 from repro.sim.resources import Resource, Store
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -48,8 +49,8 @@ class Message:
     size: int = 256
     sent_at: float = 0.0
     delivered_at: float = 0.0
-    msg_id: int = dataclasses.field(
-        default_factory=lambda: next(_message_counter))
+    # Bound __next__ avoids a lambda frame per message (one per send).
+    msg_id: int = dataclasses.field(default_factory=_message_counter.__next__)
 
     def __repr__(self) -> str:
         return (f"<Message #{self.msg_id} {self.msg_type} "
@@ -169,8 +170,11 @@ class Network:
             raise KeyError(f"unknown source node {message.source!r}")
         if message.source in self._down_nodes:
             raise NodeDownError(f"node {message.source!r} is down")
-        message.sent_at = self.sim.now
-        self.sim.process(self._transmit(message), daemon=True, eager=True)
+        sim = self.sim
+        message.sent_at = sim._now
+        # Direct Process construction (not sim.process()): one spawn per
+        # message makes the factory frame measurable.
+        Process(sim, self._transmit(message), daemon=True, eager=True)
 
     def _transmit(self, message: Message) -> typing.Generator[Event, None, None]:
         # One generator instance per message: locals are hoisted once and
@@ -185,27 +189,31 @@ class Network:
             # Grant wait inside the try: an interrupt (e.g. a node crash
             # mid-send) must still return the NIC slot.
             yield request
-            yield sim.timeout(message.size / link.bandwidth)
+            yield Timeout(sim, message.size / link.bandwidth)
         finally:
             nic.release(request)
         link.bytes_sent += message.size
         link.messages_sent += 1
         # Inlined RngRegistry.jittered (same draw semantics: no stream
         # consumption when jitter is off, clamped uniform otherwise).
+        # Latency streams are single-signature (every draw is this
+        # uniform), so they run through vectorised BatchSamplers; the
+        # sampler's uniform() applies the identical float transform, so
+        # latencies are bit-identical to sequential draws.
         jitter = self.latency_jitter
         mean = link.latency
         if jitter <= 0:
             latency = mean
         else:
-            stream = self._latency_rng.get(source)
-            if stream is None:
-                stream = self.rng.stream(f"net.latency.{source}")
-                self._latency_rng[source] = stream
-            latency = stream.uniform(mean * (1.0 - jitter),
-                                     mean * (1.0 + jitter))
+            sampler = self._latency_rng.get(source)
+            if sampler is None:
+                sampler = self.rng.sampler(f"net.latency.{source}")
+                self._latency_rng[source] = sampler
+            latency = sampler.uniform(mean * (1.0 - jitter),
+                                      mean * (1.0 + jitter))
             if latency < 0.0:
                 latency = 0.0
-        yield sim.timeout(latency)
+        yield Timeout(sim, latency)
         if (not link.up
                 or source in self._down_nodes
                 or message.destination in self._down_nodes):

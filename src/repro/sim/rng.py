@@ -1,16 +1,91 @@
-"""Named, independently seeded random streams.
+"""Named, independently seeded random streams, with vectorised sampling.
 
 Every source of randomness in the simulator (arrival processes, network
 jitter, election timeouts, peer selection) draws from its own named stream so
 that changing one component's consumption of random numbers does not perturb
 any other component.  Streams are derived deterministically from a root seed
 and the stream name.
+
+High-rate consumers (arrival and latency streams: one draw per transaction
+or message) can upgrade a stream to a :class:`BatchSampler`, which refills a
+flat buffer of raw uniforms thousands at a time and applies the same float
+transforms CPython's :class:`random.Random` applies — so the value sequence
+delivered to the consumer is *bit-identical* to sequential draws (the
+property suite and the golden digests both enforce this).  A sampler takes
+exclusive ownership of its stream: interleaved direct draws would silently
+desynchronise from the buffered read-ahead, so :meth:`RngRegistry.stream`
+refuses to hand out an owned stream.
 """
 
 from __future__ import annotations
 
 import hashlib
 import random
+from math import log as _log
+
+
+class BatchSampler:
+    """Vectorised view of one stream: batched uniforms, exact transforms.
+
+    The buffer holds *raw* ``random()`` draws; variate transforms happen at
+    consumption time with formulas copied from CPython's ``random.py``
+    (``expovariate``: ``-log(1 - u)/lambd``; ``uniform``:
+    ``a + (b - a) * u``), so element ``i`` of this sampler equals draw ``i``
+    of the un-vectorised stream exactly — including streams whose transform
+    parameters change per call (per-link latency means).  Only the
+    *underlying* generator state runs ahead of consumption, and ownership
+    (enforced by the registry) guarantees nobody can observe that.
+    """
+
+    __slots__ = ("name", "batch", "_random", "_buf", "_idx")
+
+    def __init__(self, stream: random.Random, name: str = "",
+                 batch: int = 4096) -> None:
+        if batch < 1:
+            raise ValueError(f"batch size must be >= 1, got {batch}")
+        self.name = name
+        self.batch = batch
+        self._random = stream.random
+        self._buf: list[float] = []
+        self._idx = 0
+
+    def uniform01(self) -> float:
+        """The next raw ``random()`` draw from the buffer (refilling)."""
+        idx = self._idx
+        buf = self._buf
+        if idx >= len(buf):
+            r = self._random
+            self._buf = buf = [r() for _ in range(self.batch)]
+            idx = 0
+        self._idx = idx + 1
+        return buf[idx]
+
+    def expovariate(self, lambd: float) -> float:
+        """Exponential draw, bit-identical to ``Random.expovariate``."""
+        idx = self._idx
+        buf = self._buf
+        if idx >= len(buf):
+            r = self._random
+            self._buf = buf = [r() for _ in range(self.batch)]
+            idx = 0
+        self._idx = idx + 1
+        return -_log(1.0 - buf[idx]) / lambd
+
+    def uniform(self, a: float, b: float) -> float:
+        """Uniform draw on [a, b], bit-identical to ``Random.uniform``."""
+        idx = self._idx
+        buf = self._buf
+        if idx >= len(buf):
+            r = self._random
+            self._buf = buf = [r() for _ in range(self.batch)]
+            idx = 0
+        self._idx = idx + 1
+        return a + (b - a) * buf[idx]
+
+    @property
+    def buffered(self) -> int:
+        """Unconsumed draws left in the current buffer (introspection)."""
+        return len(self._buf) - self._idx
 
 
 class RngRegistry:
@@ -19,9 +94,20 @@ class RngRegistry:
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self._streams: dict[str, random.Random] = {}
+        self._samplers: dict[str, BatchSampler] = {}
 
     def stream(self, name: str) -> random.Random:
-        """Return (creating on first use) the stream for ``name``."""
+        """Return (creating on first use) the stream for ``name``.
+
+        Raises :class:`RuntimeError` if a :class:`BatchSampler` owns the
+        stream: its buffer has read ahead of consumption, so direct draws
+        would silently interleave with — and diverge from — the sampler's
+        delivered sequence.
+        """
+        if name in self._samplers:
+            raise RuntimeError(
+                f"stream {name!r} is owned by a BatchSampler; draw via "
+                f"sampler({name!r}) instead of stream()")
         stream = self._streams.get(name)
         if stream is None:
             digest = hashlib.sha256(
@@ -29,6 +115,26 @@ class RngRegistry:
             stream = random.Random(int.from_bytes(digest[:8], "big"))
             self._streams[name] = stream
         return stream
+
+    def sampler(self, name: str, batch: int = 4096) -> BatchSampler:
+        """Vectorised view of stream ``name``; takes exclusive ownership.
+
+        Safe only for *single-signature* streams — ones whose every draw
+        goes through the sampler.  A stream mixing draw kinds outside the
+        sampler (e.g. cohort loops interleaving ``expovariate`` with
+        ``randrange``) must keep using :meth:`stream`.
+        """
+        existing = self._samplers.get(name)
+        if existing is not None:
+            if existing.batch != batch:
+                raise RuntimeError(
+                    f"sampler {name!r} already exists with batch="
+                    f"{existing.batch}, requested {batch}")
+            return existing
+        stream = self.stream(name)
+        sampler = BatchSampler(stream, name=name, batch=batch)
+        self._samplers[name] = sampler
+        return sampler
 
     def jittered(self, name: str, mean: float, jitter: float) -> float:
         """A draw from ``Uniform(mean*(1-jitter), mean*(1+jitter))``, >= 0.

@@ -135,3 +135,27 @@ def test_obs_diff_requires_both_paths(tmp_path, capsys):
     base.write_text("{}", encoding="utf-8")
     assert main(["obs-diff"]) == 2
     assert main(["obs-diff", "--baseline", str(base)]) == 2
+
+
+def test_obs_diff_events_rate_gate_behind_flag(tmp_path, capsys):
+    # events_per_s is machine-dependent: ungated by default, gated when
+    # --tol-events-rate supplies a tolerance (same opt-in as --tol-wall).
+    import json
+
+    base = tmp_path / "base.json"
+    cand = tmp_path / "cand.json"
+    base.write_text(json.dumps(
+        {"solo": {"sim_tps": 100.0, "events_per_s": 100_000.0}}),
+        encoding="utf-8")
+    cand.write_text(json.dumps(
+        {"solo": {"sim_tps": 100.0, "events_per_s": 50_000.0}}),
+        encoding="utf-8")
+    assert main(["obs-diff", "--baseline", str(base),
+                 "--candidate", str(cand)]) == 0
+    capsys.readouterr()
+    assert main(["obs-diff", "--baseline", str(base),
+                 "--candidate", str(cand),
+                 "--tol-events-rate", "0.25"]) == 1
+    out = capsys.readouterr().out
+    assert "obs-diff: FAILED" in out
+    assert "events_per_s" in out

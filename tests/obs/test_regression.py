@@ -72,7 +72,7 @@ def test_wall_clock_is_ungated_by_default():
     assert gated.regressions[0].metric == "wall_s"
 
 
-def test_events_per_s_is_report_only():
+def test_events_per_s_is_report_only_by_default():
     candidate = clone(BASELINE)
     candidate["solo"]["events_per_s"] = 1.0
     result = compare_measurements(BASELINE, candidate)
@@ -80,6 +80,38 @@ def test_events_per_s_is_report_only():
     delta = [d for d in result.deltas if d.metric == "events_per_s"][0]
     assert not delta.gated
     assert "not gated" in delta.describe()
+
+
+def test_events_rate_tolerance_turns_the_gate_on():
+    candidate = clone(BASELINE)
+    candidate["solo"]["events_per_s"] = 350.0   # -30% kernel throughput
+    result = compare_measurements(BASELINE, candidate,
+                                  events_rate_tolerance=0.20)
+    assert not result.ok
+    assert [(d.scenario, d.metric) for d in result.regressions] == [
+        ("solo", "events_per_s")]
+    # Within tolerance passes.
+    candidate["solo"]["events_per_s"] = 450.0   # -10%
+    assert compare_measurements(BASELINE, candidate,
+                                events_rate_tolerance=0.20).ok
+
+
+def test_events_rate_gate_ignores_improvements():
+    candidate = clone(BASELINE)
+    candidate["solo"]["events_per_s"] = 5000.0  # 10x faster kernel
+    result = compare_measurements(BASELINE, candidate,
+                                  events_rate_tolerance=0.05)
+    assert result.ok
+
+
+def test_events_rate_gate_does_not_touch_other_metrics():
+    # Turning the rate gate on must not silently gate or un-gate wall_s.
+    candidate = clone(BASELINE)
+    candidate["solo"]["wall_s"] = 200.0
+    candidate["solo"]["events_per_s"] = 499.0
+    result = compare_measurements(BASELINE, candidate,
+                                  events_rate_tolerance=0.05)
+    assert result.ok
 
 
 def test_missing_scenario_fails_the_gate():

@@ -14,6 +14,14 @@ ones:
 3. :class:`AnyOf` fires with the earliest sub-event and :class:`AllOf`
    fires once the latest fires, with fired sub-events recorded in
    schedule order.
+
+The PR-10 array scheduler (FIFO ring + calendar bucket + far heap,
+:mod:`repro.sim.scheduler`) re-pins the same invariants differentially:
+over hypothesis-generated schedules — including adversarial horizons
+straddling bucket boundaries, cancel/re-arm interleavings, and due-now
+tie storms — the array scheduler and the legacy binary heap must produce
+bit-identical trace digests, and the calendar tiers must hold their
+routing invariant (every far entry at or beyond ``bucket_end``).
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from hypothesis import given, settings
 
 from repro.sim.core import Simulation
 from repro.sim.sanitizer import TraceDigest
+from repro.sim.scheduler import DEFAULT_BUCKET_WIDTH
 
 # Delays as integer tenths keep arithmetic exact: equal draws mean exactly
 # equal simulated times, so tie-breaking is genuinely exercised.
@@ -226,6 +235,212 @@ def test_all_of_records_sub_events_in_schedule_order(delays):
     indices = [events.index(event) for event in value.events]
     expected = sorted(range(len(delays)), key=lambda i: (delays[i], i))
     assert indices == expected
+
+
+# ----------------------------------------------------------------------
+# 4. Array scheduler vs binary-heap oracle (PR-10)
+# ----------------------------------------------------------------------
+
+# Adversarial horizons for the calendar tiers: quarter-bucket quanta mix
+# due-now (0), sub-bucket, exact-boundary (multiples of 4 quanta), and
+# far-future (hundreds of buckets) delays in one schedule, so entries
+# land in every tier and migrate across bucket rotations.  Integer quanta
+# keep equal draws exactly equal, so tie-breaking is exercised too.
+_QUANTUM = DEFAULT_BUCKET_WIDTH / 4.0
+adversarial_delays = st.lists(
+    st.one_of(st.just(0),
+              st.integers(min_value=0, max_value=5),
+              st.integers(min_value=0, max_value=16),
+              st.integers(min_value=380, max_value=420),
+              st.integers(min_value=0, max_value=2000)),
+    min_size=1, max_size=20).map(
+        lambda ks: [k * _QUANTUM for k in ks])
+
+
+def _digest_chains(scheduler: str, schedules,
+                   keep_records: bool = False) -> TraceDigest:
+    sim = Simulation(scheduler=scheduler)
+    trace = TraceDigest(sim, keep_records=keep_records).attach()
+
+    def chain(delays):
+        for delay in delays:
+            yield sim.timeout(delay)
+
+    for delays in schedules:
+        sim.process(chain(delays))
+    sim.run()
+    trace.detach()
+    return trace
+
+
+@given(st.lists(adversarial_delays, min_size=1, max_size=8))
+@settings(max_examples=150, deadline=None)
+def test_array_scheduler_matches_heap_under_adversarial_horizons(schedules):
+    """Tier migration never reorders: array digest == heap digest."""
+    array_trace = _digest_chains("array", schedules, keep_records=True)
+    heap_trace = _digest_chains("heap", schedules)
+    assert array_trace.hexdigest == heap_trace.hexdigest
+    # The pop stream must also be monotone in (time, seq) on its own.
+    for earlier, later in zip(array_trace.records, array_trace.records[1:]):
+        assert (later.time, later.seq) > (earlier.time, earlier.seq)
+
+
+@given(st.lists(adversarial_delays, min_size=1, max_size=6),
+       st.floats(min_value=0.0, max_value=3.0, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_bounded_runs_resume_identically_across_schedulers(schedules,
+                                                           horizon):
+    """run(until=...) then run() pops the same global schedule.
+
+    The bounded stop can land mid-bucket (the array loop must un-pop its
+    lookahead entry exactly); resuming must replay the remainder in the
+    same order the heap would.
+    """
+    def run_split(scheduler: str) -> str:
+        sim = Simulation(scheduler=scheduler)
+        trace = TraceDigest(sim, keep_records=False).attach()
+
+        def chain(delays):
+            for delay in delays:
+                yield sim.timeout(delay)
+
+        for delays in schedules:
+            sim.process(chain(delays))
+        sim.run(until=horizon)
+        sim.run()
+        trace.detach()
+        return trace.hexdigest
+
+    assert run_split("array") == run_split("heap")
+
+
+@given(st.lists(adversarial_delays, min_size=1, max_size=6))
+@settings(max_examples=100, deadline=None)
+def test_calendar_far_tier_never_undercuts_bucket_end(schedules):
+    """The routing invariant: far entries sit at or beyond bucket_end.
+
+    Checked after every pop via a step-driven run, so the invariant holds
+    across bucket rotations, not just at the end.
+    """
+    sim = Simulation(scheduler="array")
+
+    def chain(delays):
+        for delay in delays:
+            yield sim.timeout(delay)
+
+    for delays in schedules:
+        sim.process(chain(delays))
+    cal = sim._cal
+    while sim.peek() != float("inf"):
+        sim.step()
+        assert all(entry[0] >= cal.bucket_end for entry in cal.far), (
+            f"far entry below bucket_end={cal.bucket_end}")
+        unconsumed = cal.run[cal.run_idx:]
+        assert unconsumed == sorted(unconsumed), "bucket run lost its order"
+
+
+@st.composite
+def interrupt_plans(draw):
+    # Sleepers hold long timeouts; interrupters cancel them at generated
+    # instants, after which each sleeper re-arms with a fresh (shorter)
+    # timeout.  Interrupts landing after a sleeper finished are no-ops —
+    # also worth exercising.
+    sleepers = draw(st.lists(
+        st.tuples(st.integers(0, 40),     # initial sleep (quanta)
+                  st.integers(0, 1200),   # long nap: the cancel target
+                  st.integers(0, 12)),    # re-armed nap after interrupt
+        min_size=1, max_size=6))
+    interrupts = draw(st.lists(
+        st.tuples(st.integers(0, max(0, len(sleepers) - 1)),
+                  st.integers(0, 1400)),  # when to interrupt (quanta)
+        min_size=0, max_size=8))
+    return sleepers, interrupts
+
+
+@given(interrupt_plans())
+@settings(max_examples=150, deadline=None)
+def test_cancel_and_rearm_identical_across_schedulers(plan):
+    """Interrupted timeouts stay scheduled; popping them later (with no
+    waiter) must not disturb either scheduler's order, and the re-armed
+    timeouts must fire identically."""
+    from repro.sim.events import Interrupt
+
+    sleepers, interrupts = plan
+
+    def run_once(scheduler: str) -> tuple[str, list]:
+        sim = Simulation(scheduler=scheduler)
+        trace = TraceDigest(sim, keep_records=False).attach()
+        outcomes = []
+
+        def sleeper(index, start, nap, renap):
+            try:
+                yield sim.timeout(start * _QUANTUM)
+                yield sim.timeout(nap * _QUANTUM)
+                outcomes.append((index, "slept", sim.now))
+                return
+            except Interrupt:
+                pass
+            # Cancelled: re-arm with the shorter nap, tolerating further
+            # interrupts (each one cancels and re-arms again).
+            while True:
+                try:
+                    yield sim.timeout(renap * _QUANTUM)
+                    outcomes.append((index, "re-armed", sim.now))
+                    return
+                except Interrupt:
+                    continue
+
+        def interrupter(target, when):
+            yield sim.timeout(when * _QUANTUM)
+            target.interrupt("cancel")
+
+        processes = [sim.process(sleeper(i, start, nap, renap))
+                     for i, (start, nap, renap) in enumerate(sleepers)]
+        for target_index, when in interrupts:
+            sim.process(interrupter(processes[target_index], when))
+        sim.run()
+        trace.detach()
+        return trace.hexdigest, outcomes
+
+    array_digest, array_outcomes = run_once("array")
+    heap_digest, heap_outcomes = run_once("heap")
+    assert array_digest == heap_digest
+    assert array_outcomes == heap_outcomes
+    assert len(array_outcomes) == len(sleepers), "every sleeper finishes"
+
+
+@given(st.integers(min_value=1, max_value=40))
+@settings(max_examples=60, deadline=None)
+def test_due_now_events_fire_in_fifo_order(count):
+    """Due-now triggers (the FIFO ring tier) keep strict arrival order."""
+    def run_once(scheduler: str) -> list[int]:
+        from repro.sim.events import Event
+
+        sim = Simulation(scheduler=scheduler)
+        fired = []
+
+        def firer(events):
+            yield sim.timeout(1.0)
+            # Trigger in reversed creation order: pop order must follow
+            # the trigger (seq) order, not creation order.
+            for event in reversed(events):
+                event.succeed()
+            yield sim.timeout(1.0)
+
+        def waiter(index, event):
+            yield event
+            fired.append(index)
+
+        events = [Event(sim) for _ in range(count)]
+        for index, event in enumerate(events):
+            sim.process(waiter(index, event))
+        sim.process(firer(events))
+        sim.run()
+        return fired
+
+    array_order = run_once("array")
+    assert array_order == list(reversed(range(count)))
+    assert array_order == run_once("heap")
 
 
 @given(delay_lists)
